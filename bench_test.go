@@ -1,0 +1,385 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per artifact, per DESIGN.md's experiment index), plus ablation benches
+// for the design choices the reproduction encodes. Figure benches share
+// one simulated small-scale suite and measure the analysis passes; the
+// ablation benches run whole simulations per configuration and report
+// domain metrics via b.ReportMetric.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+// suite simulates the 9-cell small-scale suite once for all figure benches.
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		sc := experiments.Scale{
+			Name: "bench", Machines2011: 80, Machines2019: 60,
+			Horizon: 8 * sim.Hour, Warmup: 3 * sim.Hour, Seed: 7,
+		}
+		benchSuite = experiments.RunSuite(sc)
+	})
+	return benchSuite
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Table1(s.T2011, s.T2019)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range s.T2019 {
+			analysis.MachineShapes(tr)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var series []analysis.TierSeries
+		for _, tr := range s.T2019 {
+			series = append(series, analysis.UsageSeries(tr))
+		}
+		analysis.AverageSeries(series)
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range s.T2019 {
+			analysis.AverageUsageByTier(tr, s.Scale.Warmup)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var series []analysis.TierSeries
+		for _, tr := range s.T2019 {
+			series = append(series, analysis.AllocationSeries(tr))
+		}
+		analysis.AverageSeries(series)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range s.T2019 {
+			analysis.AverageAllocationByTier(tr, s.Scale.Warmup)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range s.T2019 {
+			analysis.MachineUtilizationCCDF(tr, s.Scale.Horizon/2)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Transitions(s.T2019[6]) // cell g, as the paper uses
+	}
+}
+
+func BenchmarkAllocSetStats(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.AllocSets(s.T2019)
+	}
+}
+
+func BenchmarkTerminationStats(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.Terminations(s.T2019)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r19 := analysis.Rates(s.T2019)
+		r11 := analysis.Rates([]*trace.MemTrace{s.T2011})
+		ratio = stats.Quantile(r19.JobsPerHour, 0.5) / stats.Quantile(r11.JobsPerHour, 0.5) *
+			float64(s.Scale.Machines2011) / float64(s.Scale.Machines2019)
+	}
+	b.ReportMetric(ratio, "jobrate-ratio-2019/2011")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var resub float64
+	for i := 0; i < b.N; i++ {
+		r19 := analysis.Rates(s.T2019)
+		resub = stats.Quantile(r19.AllTasksPerHour, 0.5)/stats.Quantile(r19.NewTasksPerHour, 0.5) - 1
+	}
+	b.ReportMetric(resub, "resubmit-ratio-2019")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var median float64
+	for i := 0; i < b.N; i++ {
+		all, _ := analysis.SchedulingDelays(s.T2019)
+		median = stats.Quantile(all, 0.5)
+	}
+	b.ReportMetric(median, "median-delay-s")
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var beb95 float64
+	for i := 0; i < b.N; i++ {
+		tpj := analysis.TasksPerJob(s.T2019)
+		beb95 = stats.Quantile(tpj[trace.TierBestEffortBatch], 0.95)
+	}
+	b.ReportMetric(beb95, "beb-p95-tasks")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var col analysis.Table2Column
+	for i := 0; i < b.N; i++ {
+		ints := analysis.JobUsageIntegrals(s.T2019)
+		col = analysis.ComputeTable2Column(ints.CPUHours)
+	}
+	b.ReportMetric(col.Top1Share*100, "top1%-load-share")
+	b.ReportMetric(col.C2, "C2")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	s := suite(b)
+	ints := analysis.JobUsageIntegrals(s.T2019)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.UsageCCDF(ints.CPUHours)
+		analysis.UsageCCDF(ints.MemHours)
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	s := suite(b)
+	ints := analysis.JobUsageIntegrals(s.T2019)
+	b.ResetTimer()
+	var r float64
+	for i := 0; i < b.N; i++ {
+		_, r = analysis.CPUMemCorrelation(ints, 100)
+	}
+	b.ReportMetric(r, "pearson-r")
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		slack := analysis.SlackSamples(s.T2019)
+		gap = stats.Quantile(slack[trace.ScalingNone], 0.5) -
+			stats.Quantile(slack[trace.ScalingFull], 0.5)
+	}
+	b.ReportMetric(gap, "autopilot-slack-gap-pp")
+}
+
+// BenchmarkSimulateCell measures end-to-end cell simulation throughput.
+func BenchmarkSimulateCell(b *testing.B) {
+	p := workload.Profile2019("a", 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(p, core.Options{Horizon: 2 * sim.Hour, Seed: uint64(i)})
+	}
+}
+
+// BenchmarkAblationPlacement compares placement policies by the spread of
+// machine CPU utilization (Figure 6's 2011→2019 tightening is driven by
+// this choice).
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, policy := range []struct {
+		name  string
+		value scheduler.PlacementPolicy
+	}{
+		{"random-fit", scheduler.RandomFit},
+		{"best-fit", scheduler.BestFit},
+		{"least-allocated", scheduler.LeastAllocated},
+	} {
+		b.Run(policy.name, func(b *testing.B) {
+			var spread float64
+			for i := 0; i < b.N; i++ {
+				p := workload.Profile2019("a", 60)
+				p.Policy = policy.value
+				res := core.Run(p, core.Options{Horizon: 4 * sim.Hour, Seed: 3})
+				cpu, _ := analysis.MachineUtilization(res.Trace, 3*sim.Hour)
+				s := stats.Summarize(cpu)
+				spread = s.Variance
+			}
+			b.ReportMetric(spread*1000, "util-variance-x1000")
+		})
+	}
+}
+
+// BenchmarkAblationOvercommit sweeps the CPU allocation ceiling and
+// reports the OOM/preemption cost of pushing multiplexing harder
+// (research direction 2).
+func BenchmarkAblationOvercommit(b *testing.B) {
+	for _, factor := range []struct {
+		name string
+		cpu  float64
+		mem  float64
+	}{{"low-1.2", 1.2, 1.1}, {"paper-1.6", 1.6, 1.3}, {"high-2.0", 2.0, 1.6}} {
+		b.Run(factor.name, func(b *testing.B) {
+			var oom, preempt float64
+			for i := 0; i < b.N; i++ {
+				p := workload.Profile2019("b", 60)
+				p.Overcommit.CPUFactor = factor.cpu
+				p.Overcommit.MemFactor = factor.mem
+				res := core.Run(p, core.Options{Horizon: 4 * sim.Hour, Seed: 3})
+				oom = float64(res.Sched.OOMEvictions)
+				preempt = float64(res.Sched.Preemptions)
+			}
+			b.ReportMetric(oom, "oom-evictions")
+			b.ReportMetric(preempt, "preemptions")
+		})
+	}
+}
+
+// BenchmarkAblationBatchQueue compares the best-effort batch tier's delay
+// tail with and without the batch-queue front-end.
+func BenchmarkAblationBatchQueue(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"queue-on", true}, {"queue-off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				p := workload.Profile2019("b", 60)
+				p.BatchQueue = mode.on
+				res := core.Run(p, core.Options{Horizon: 4 * sim.Hour, Seed: 3})
+				_, byTier := analysis.SchedulingDelays([]*trace.MemTrace{res.Trace})
+				p99 = stats.Quantile(byTier[trace.TierBestEffortBatch], 0.99)
+			}
+			b.ReportMetric(p99, "beb-delay-p99-s")
+		})
+	}
+}
+
+// BenchmarkAblationHogIsolation quantifies §7.3: the mice's delay when the
+// top-1% hogs share their priority versus being segregated below them.
+func BenchmarkAblationHogIsolation(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		hogPriority int
+	}{{"hogs-mixed", 110}, {"hogs-isolated", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var p90 float64
+			for i := 0; i < b.N; i++ {
+				p90 = miceDelayP90(mode.hogPriority)
+			}
+			b.ReportMetric(p90, "mice-delay-p90-s")
+		})
+	}
+}
+
+// miceDelayP90 builds a hand-crafted hogs+mice workload on a small cell —
+// five 400-task hogs plus 400 single-task mice — and returns the mice's
+// 90th-percentile scheduling delay in seconds.
+func miceDelayP90(hogPriority int) float64 {
+	cell := cluster.NewCell("ablation")
+	for i := 0; i < 30; i++ {
+		cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+	}
+	k := sim.NewKernel()
+	cfg := scheduler.DefaultConfig()
+	cfg.Batch = nil
+	cfg.ServiceTime = dist.LogNormalFromMedian(0.25, 0.6)
+	sched := scheduler.New(cfg, cell, k, trace.NopSink{}, rng.New(7))
+	src := rng.New(31)
+
+	id := trace.CollectionID(1)
+	for i := 0; i < 5; i++ {
+		j := scheduler.NewJob(id)
+		id++
+		j.Type = trace.CollectionJob
+		j.Priority = hogPriority
+		j.Tier = trace.TierFromPriority2019(hogPriority)
+		for t := 0; t < 400; t++ {
+			j.AddTask(&scheduler.Task{
+				Request:  trace.Resources{CPU: 0.05, Mem: 0.04},
+				Duration: 2 * sim.Hour, MeanCPU: 0.04, MeanMem: 0.03, PeakFact: 1.2,
+			})
+		}
+		at := sim.Time(i) * 15 * sim.Minute
+		k.At(at, func(sim.Time) { sched.Submit(j) })
+	}
+	var mice []*scheduler.Job
+	for i := 0; i < 400; i++ {
+		j := scheduler.NewJob(id)
+		id++
+		j.Type = trace.CollectionJob
+		j.Priority = 110
+		j.Tier = trace.TierBestEffortBatch
+		j.AddTask(&scheduler.Task{
+			Request:  trace.Resources{CPU: 0.02, Mem: 0.02},
+			Duration: 3 * sim.Minute, MeanCPU: 0.01, MeanMem: 0.01, PeakFact: 1.2,
+		})
+		mice = append(mice, j)
+		at := sim.Time(src.Intn(int(3 * sim.Hour)))
+		k.At(at, func(sim.Time) { sched.Submit(j) })
+	}
+	k.RunUntil(5 * sim.Hour)
+
+	var delays []float64
+	for _, j := range mice {
+		if j.FirstRun >= 0 {
+			delays = append(delays, (j.FirstRun - j.ReadyTime).Seconds())
+		}
+	}
+	return stats.Quantile(delays, 0.9)
+}

@@ -1,0 +1,94 @@
+// Command borganalyze runs the paper's analyses against a trace directory
+// previously written by borgtrace, printing the figures the single cell
+// supports (usage/allocation series, machine utilization, transitions,
+// rates, delays, tasks-per-job, usage integrals, slack).
+//
+// Usage:
+//
+//	borganalyze -trace ./trace-b [-warmup-hours 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("borganalyze: ")
+	dir := flag.String("trace", "", "trace directory (required)")
+	warmupHours := flag.Float64("warmup-hours", 4, "hours to exclude from time-averaged figures")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tr, err := trace.ReadDir(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	warmup := sim.FromHours(*warmupHours)
+	fmt.Fprintf(w, "trace: era=%s cell=%s machines=%d duration=%v\n%s\n\n",
+		tr.Meta.Era, tr.Meta.Cell, tr.Meta.Machines, tr.Meta.Duration, tr.Counts())
+
+	check(report.TierSeriesTable(w, "Hourly CPU usage by tier (Figure 2)", analysis.UsageSeries(tr), "cpu"))
+	check(report.TierSeriesTable(w, "Hourly CPU allocation by tier (Figure 4)", analysis.AllocationSeries(tr), "cpu"))
+	av := analysis.AverageUsageByTier(tr, warmup)
+	check(report.TierAveragesTable(w, "Average usage by tier (Figure 3)", []analysis.TierAverages{av}, "cpu"))
+
+	cpu, mem := analysis.MachineUtilization(tr, tr.Meta.Duration/2)
+	check(report.Table(w, []string{"machine utilization", "median", "p90"}, [][]string{
+		{"cpu", report.F(stats.Quantile(cpu, 0.5)), report.F(stats.Quantile(cpu, 0.9))},
+		{"mem", report.F(stats.Quantile(mem, 0.5)), report.F(stats.Quantile(mem, 0.9))},
+	}))
+
+	check(report.Transitions(w, "State transitions (Figure 7)", analysis.Transitions(tr), 15))
+
+	trs := []*trace.MemTrace{tr}
+	rates := analysis.Rates(trs)
+	check(report.Table(w, []string{"rates/hour", "median", "mean"}, [][]string{
+		{"jobs", report.F(stats.Quantile(rates.JobsPerHour, 0.5)), report.F(stats.Summarize(rates.JobsPerHour).Mean)},
+		{"new tasks", report.F(stats.Quantile(rates.NewTasksPerHour, 0.5)), report.F(stats.Summarize(rates.NewTasksPerHour).Mean)},
+		{"all tasks", report.F(stats.Quantile(rates.AllTasksPerHour, 0.5)), report.F(stats.Summarize(rates.AllTasksPerHour).Mean)},
+	}))
+
+	all, byTier := analysis.SchedulingDelays(trs)
+	rows := [][]string{{"all", report.F(stats.Quantile(all, 0.5)), report.F(stats.Quantile(all, 0.9))}}
+	for _, tier := range trace.Tiers() {
+		if xs := byTier[tier]; len(xs) > 0 {
+			rows = append(rows, []string{tier.String(), report.F(stats.Quantile(xs, 0.5)), report.F(stats.Quantile(xs, 0.9))})
+		}
+	}
+	check(report.Table(w, []string{"scheduling delay (s)", "median", "p90"}, rows))
+
+	ints := analysis.JobUsageIntegrals(trs)
+	check(report.Table2(w, "Per-job resource-hours (Table 2)",
+		analysis.ComputeTable2Column(ints.CPUHours), analysis.ComputeTable2Column(ints.MemHours)))
+
+	slack := analysis.SlackSamples(trs)
+	var srows [][]string
+	for _, mode := range []trace.VerticalScaling{trace.ScalingFull, trace.ScalingConstrained, trace.ScalingNone} {
+		if xs := slack[mode]; len(xs) > 0 {
+			srows = append(srows, []string{mode.String(), report.F(stats.Quantile(xs, 0.5))})
+		}
+	}
+	if len(srows) > 0 {
+		check(report.Table(w, []string{"peak NCU slack (Figure 14)", "median %"}, srows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Command borgexperiments regenerates every table and figure of "Borg:
+// the Next Generation" (EuroSys '20) from freshly simulated traces and
+// prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	borgexperiments [-scale small|default|large] [-seed N] [-o report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("borgexperiments: ")
+	scaleName := flag.String("scale", "default", "simulation scale: small, default or large")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.SmallScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "large":
+		sc = experiments.LargeScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	sc.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	fmt.Fprintf(w, "Borg: the Next Generation — reproduction report\n")
+	fmt.Fprintf(w, "scale=%s machines2011=%d machines2019=%dx8 horizon=%v seed=%d\n\n",
+		sc.Name, sc.Machines2011, sc.Machines2019, sc.Horizon, sc.Seed)
+	suite := experiments.RunSuite(sc)
+	fmt.Fprintf(w, "simulated 9 cells in %v\n\n", time.Since(start).Round(time.Millisecond))
+	if err := suite.WriteReport(w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Borg: the Next
+// Generation" (Tirmazi et al., EuroSys 2020): a discrete-event Borg cell
+// simulator with a calibrated synthetic workload generator that emits
+// traces in the 2019 schema, plus the full analysis toolkit that
+// regenerates every table and figure of the paper.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level benchmarks (bench_test.go)
+// regenerate each table and figure; cmd/borgexperiments prints the whole
+// evaluation.
+package repro

@@ -1,0 +1,81 @@
+// Multicell: reproduces the paper's inter-cell variation findings
+// (Figures 3/5/6, §4): each of the eight 2019 cells runs a different
+// workload mix — cell b is batch-heavy, cell a production-heavy, cell h
+// mid-tier-heavy — and machine utilization differs visibly between cells.
+//
+//	go run ./examples/multicell
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const machines = 80
+	horizon := 8 * sim.Hour
+
+	cells := []string{"a", "b", "h"} // the paper's three named extremes
+	var averages []analysis.TierAverages
+	fmt.Println("simulating cells a (prod-heavy), b (beb-heavy), h (mid-heavy)...")
+	var traces []*trace.MemTrace
+	for i, cell := range cells {
+		res := core.Run(workload.Profile2019(cell, machines), core.Options{
+			Horizon: horizon,
+			Seed:    uint64(100 + i),
+			IDBase:  trace.CollectionID(i) << 32,
+		})
+		traces = append(traces, res.Trace)
+		averages = append(averages, analysis.AverageUsageByTier(res.Trace, 3*sim.Hour))
+	}
+
+	if err := report.TierAveragesTable(os.Stdout,
+		"\naverage CPU usage by tier (fraction of cell capacity, Figure 3)",
+		averages, "cpu"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The headline inter-cell contrasts the paper calls out.
+	get := func(cell string) analysis.TierAverages {
+		for _, a := range averages {
+			if a.Cell == cell {
+				return a
+			}
+		}
+		log.Fatalf("missing cell %s", cell)
+		return analysis.TierAverages{}
+	}
+	a, b, h := get("a"), get("b"), get("h")
+	fmt.Printf("\ncell b beb share of usage:  %.0f%% (largest of the three)\n",
+		100*b.CPU[trace.TierBestEffortBatch]/total(b))
+	fmt.Printf("cell a prod share of usage: %.0f%% (largest of the three)\n",
+		100*a.CPU[trace.TierProduction]/total(a))
+	fmt.Printf("cell h mid share of usage:  %.0f%% (largest of the three)\n",
+		100*h.CPU[trace.TierMid]/total(h))
+
+	// Machine utilization medians differ between cells (Figure 6).
+	fmt.Println("\nmachine CPU utilization at mid-trace (Figure 6):")
+	for i, tr := range traces {
+		cpu, _ := analysis.MachineUtilization(tr, horizon/2)
+		fmt.Printf("  cell %s: median %.2f  p90 %.2f\n",
+			cells[i], stats.Quantile(cpu, 0.5), stats.Quantile(cpu, 0.9))
+	}
+}
+
+func total(a analysis.TierAverages) float64 {
+	t := 0.0
+	for _, tier := range trace.Tiers() {
+		t += a.CPU[tier]
+	}
+	return t
+}

@@ -1,0 +1,355 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Transition is one edge of Figure 7's state-transition diagram.
+type Transition struct {
+	From, To string
+	Count    int
+}
+
+// Transitions counts consecutive event-type pairs across all collections
+// and instances of a trace (Figure 7), sorted by count descending.
+func Transitions(tr *trace.MemTrace) []Transition {
+	counts := make(map[[2]string]int)
+	for _, id := range tr.Collections() {
+		evs := tr.EventsOf(id)
+		for i := 1; i < len(evs); i++ {
+			counts[[2]string{evs[i-1].Type.String(), evs[i].Type.String()}]++
+		}
+	}
+	for _, key := range tr.Instances() {
+		evs := tr.InstanceEventsOf(key)
+		for i := 1; i < len(evs); i++ {
+			counts[[2]string{evs[i-1].Type.String(), evs[i].Type.String()}]++
+		}
+	}
+	out := make([]Transition, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, Transition{From: k[0], To: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// AllocSetStats reproduces §5.1's alloc-set findings.
+type AllocSetStats struct {
+	Collections      int
+	AllocSets        int
+	AllocSetShare    float64 // alloc sets / collections (paper: 2%)
+	CPUAllocShare    float64 // alloc reservations / total allocation (paper: 20%)
+	MemAllocShare    float64 // (paper: 18%)
+	JobsInAllocShare float64 // jobs targeting an alloc set (paper: 15%)
+	ProdShareInAlloc float64 // prod share of those (paper: 95%)
+	MemUtilInAlloc   float64 // mean mem usage ÷ limit inside allocs (paper: 73%)
+	MemUtilOutside   float64 // (paper: 41%)
+}
+
+// AllocSets computes §5.1's statistics over one or more cells.
+func AllocSets(traces []*trace.MemTrace) AllocSetStats {
+	var st AllocSetStats
+	var cpuAlloc, cpuAllocSets, memAlloc, memAllocSets float64
+	var jobs, inAlloc, prodInAlloc int
+	var memUtilIn, memUtilOut, weightIn, weightOut float64
+
+	for _, tr := range traces {
+		isAllocSet := make(map[trace.CollectionID]bool)
+		inAllocSet := make(map[trace.CollectionID]bool)
+		for _, info := range tr.CollectionInfos() {
+			st.Collections++
+			if info.CollectionType == trace.CollectionAllocSet {
+				st.AllocSets++
+				isAllocSet[info.ID] = true
+				continue
+			}
+			jobs++
+			if info.AllocSet != 0 {
+				inAlloc++
+				inAllocSet[info.ID] = true
+				if info.Tier == trace.TierProduction {
+					prodInAlloc++
+				}
+			}
+		}
+		for _, rec := range tr.UsageRecords {
+			switch {
+			case isAllocSet[rec.Key.Collection]:
+				cpuAllocSets += rec.Limit.CPU
+				memAllocSets += rec.Limit.Mem
+				cpuAlloc += rec.Limit.CPU
+				memAlloc += rec.Limit.Mem
+			case inAllocSet[rec.Key.Collection]:
+				// Consumes its alloc set's reservation, not fresh
+				// allocation; contributes to utilization-inside.
+				if rec.Limit.Mem > 0 {
+					memUtilIn += rec.AvgUsage.Mem / rec.Limit.Mem
+					weightIn++
+				}
+			default:
+				cpuAlloc += rec.Limit.CPU
+				memAlloc += rec.Limit.Mem
+				if rec.Limit.Mem > 0 {
+					memUtilOut += rec.AvgUsage.Mem / rec.Limit.Mem
+					weightOut++
+				}
+			}
+		}
+	}
+	if st.Collections > 0 {
+		st.AllocSetShare = float64(st.AllocSets) / float64(st.Collections)
+	}
+	if cpuAlloc > 0 {
+		st.CPUAllocShare = cpuAllocSets / cpuAlloc
+	}
+	if memAlloc > 0 {
+		st.MemAllocShare = memAllocSets / memAlloc
+	}
+	if jobs > 0 {
+		st.JobsInAllocShare = float64(inAlloc) / float64(jobs)
+	}
+	if inAlloc > 0 {
+		st.ProdShareInAlloc = float64(prodInAlloc) / float64(inAlloc)
+	}
+	if weightIn > 0 {
+		st.MemUtilInAlloc = memUtilIn / weightIn
+	}
+	if weightOut > 0 {
+		st.MemUtilOutside = memUtilOut / weightOut
+	}
+	return st
+}
+
+// TerminationStats reproduces §5.2's findings.
+type TerminationStats struct {
+	Collections int
+	// ByFinal counts collections by their final termination event
+	// (EventSubmit = still running at trace end).
+	ByFinal map[trace.EventType]int
+	// CollectionsWithEviction is the share of collections that saw at
+	// least one instance eviction (paper: 3.2%).
+	CollectionsWithEviction float64
+	// NonProdShareOfEvicted is the non-production share among those
+	// (paper: 96.6%).
+	NonProdShareOfEvicted float64
+	// ProdEvictedShare is the share of production collections with any
+	// instance eviction (paper: <0.2%).
+	ProdEvictedShare float64
+	// SingleEvictionShare is, among evicted production collections, the
+	// share with exactly one eviction (paper: 52%).
+	SingleEvictionShare float64
+	// KillRateWithParent / KillRateWithoutParent compare KILL outcomes
+	// for jobs with and without parents (paper: 87% vs 41%).
+	KillRateWithParent    float64
+	KillRateWithoutParent float64
+}
+
+// Terminations computes §5.2's statistics over one or more cells.
+func Terminations(traces []*trace.MemTrace) TerminationStats {
+	st := TerminationStats{ByFinal: make(map[trace.EventType]int)}
+	var evicted, prod, prodEvicted, prodEvictedOnce, nonProdEvicted int
+	var withParent, withParentKilled, withoutParent, withoutParentKilled int
+
+	for _, tr := range traces {
+		// Count instance evictions per collection.
+		evictions := make(map[trace.CollectionID]int)
+		for _, ev := range tr.InstanceEvents {
+			if ev.Type == trace.EventEvict {
+				evictions[ev.Key.Collection]++
+			}
+		}
+		for _, info := range tr.CollectionInfos() {
+			st.Collections++
+			st.ByFinal[info.FinalEvent]++
+			n := evictions[info.ID]
+			if n > 0 {
+				evicted++
+				if info.Tier == trace.TierProduction {
+					prodEvicted++
+					if n == 1 {
+						prodEvictedOnce++
+					}
+				} else {
+					nonProdEvicted++
+				}
+			}
+			if info.Tier == trace.TierProduction {
+				prod++
+			}
+			if info.CollectionType != trace.CollectionJob {
+				continue
+			}
+			killed := info.FinalEvent == trace.EventKill
+			if info.Parent != 0 {
+				withParent++
+				if killed {
+					withParentKilled++
+				}
+			} else {
+				withoutParent++
+				if killed {
+					withoutParentKilled++
+				}
+			}
+		}
+	}
+	if st.Collections > 0 {
+		st.CollectionsWithEviction = float64(evicted) / float64(st.Collections)
+	}
+	if evicted > 0 {
+		st.NonProdShareOfEvicted = float64(nonProdEvicted) / float64(evicted)
+	}
+	if prod > 0 {
+		st.ProdEvictedShare = float64(prodEvicted) / float64(prod)
+	}
+	if prodEvicted > 0 {
+		st.SingleEvictionShare = float64(prodEvictedOnce) / float64(prodEvicted)
+	}
+	if withParent > 0 {
+		st.KillRateWithParent = float64(withParentKilled) / float64(withParent)
+	}
+	if withoutParent > 0 {
+		st.KillRateWithoutParent = float64(withoutParentKilled) / float64(withoutParent)
+	}
+	return st
+}
+
+// SubmissionRates holds Figures 8 and 9's hourly rate samples for one or
+// more cells (each element is one cell-hour).
+type SubmissionRates struct {
+	JobsPerHour     []float64 // job SUBMIT events per hour (Figure 8)
+	NewTasksPerHour []float64 // first-time instance SUBMITs (Figure 9)
+	AllTasksPerHour []float64 // all instance SUBMITs incl. rescheduling
+}
+
+// Rates computes per-hour submission counts. Alloc sets are excluded from
+// the job counts, matching the paper's job-centric view.
+func Rates(traces []*trace.MemTrace) SubmissionRates {
+	var out SubmissionRates
+	for _, tr := range traces {
+		hours := int(tr.Meta.Duration / sim.Hour)
+		if hours <= 0 {
+			hours = 1
+		}
+		jobs := make([]float64, hours)
+		newTasks := make([]float64, hours)
+		allTasks := make([]float64, hours)
+
+		isJob := make(map[trace.CollectionID]bool)
+		for _, info := range tr.CollectionInfos() {
+			if info.CollectionType == trace.CollectionJob {
+				isJob[info.ID] = true
+			}
+		}
+		for _, ev := range tr.CollectionEvents {
+			if ev.Type == trace.EventSubmit && isJob[ev.Collection] {
+				if h := int(ev.Time / sim.Hour); h >= 0 && h < hours {
+					jobs[h]++
+				}
+			}
+		}
+		seen := make(map[trace.InstanceKey]bool)
+		for _, ev := range tr.InstanceEvents {
+			if ev.Type != trace.EventSubmit || !isJob[ev.Key.Collection] {
+				continue
+			}
+			h := int(ev.Time / sim.Hour)
+			if h < 0 || h >= hours {
+				continue
+			}
+			allTasks[h]++
+			if !seen[ev.Key] {
+				seen[ev.Key] = true
+				newTasks[h]++
+			}
+		}
+		out.JobsPerHour = append(out.JobsPerHour, jobs...)
+		out.NewTasksPerHour = append(out.NewTasksPerHour, newTasks...)
+		out.AllTasksPerHour = append(out.AllTasksPerHour, allTasks...)
+	}
+	return out
+}
+
+// SchedulingDelays returns per-job scheduling delays in seconds — the time
+// from the job's ENABLE (ready) to its first task running (Figure 10) —
+// overall and split by tier.
+func SchedulingDelays(traces []*trace.MemTrace) (all []float64, byTier map[trace.Tier][]float64) {
+	byTier = make(map[trace.Tier][]float64)
+	for _, tr := range traces {
+		enable := make(map[trace.CollectionID]sim.Time)
+		tier := make(map[trace.CollectionID]trace.Tier)
+		for _, ev := range tr.CollectionEvents {
+			if ev.Type == trace.EventEnable && ev.CollectionType == trace.CollectionJob {
+				if _, ok := enable[ev.Collection]; !ok {
+					enable[ev.Collection] = ev.Time
+					tier[ev.Collection] = ev.Tier
+				}
+			}
+		}
+		first := make(map[trace.CollectionID]sim.Time)
+		for _, ev := range tr.InstanceEvents {
+			if ev.Type != trace.EventSchedule {
+				continue
+			}
+			if cur, ok := first[ev.Key.Collection]; !ok || ev.Time < cur {
+				first[ev.Key.Collection] = ev.Time
+			}
+		}
+		ids := make([]trace.CollectionID, 0, len(enable))
+		for id := range enable {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fr, ok := first[id]
+			if !ok {
+				continue // never ran inside the trace window
+			}
+			d := (fr - enable[id]).Seconds()
+			if d < 0 {
+				continue
+			}
+			all = append(all, d)
+			byTier[tier[id]] = append(byTier[tier[id]], d)
+		}
+	}
+	return all, byTier
+}
+
+// TasksPerJob returns the task-count distribution by tier (Figure 11).
+func TasksPerJob(traces []*trace.MemTrace) map[trace.Tier][]float64 {
+	out := make(map[trace.Tier][]float64)
+	for _, tr := range traces {
+		counts := make(map[trace.CollectionID]int)
+		for _, key := range tr.Instances() {
+			counts[key.Collection]++
+		}
+		for _, info := range tr.CollectionInfos() {
+			if info.CollectionType != trace.CollectionJob {
+				continue
+			}
+			if n := counts[info.ID]; n > 0 {
+				out[info.Tier] = append(out[info.Tier], float64(n))
+			}
+		}
+	}
+	return out
+}
+
+// FormatTransition renders a transition edge for reports.
+func FormatTransition(t Transition) string {
+	return fmt.Sprintf("%s -> %s: %d", t.From, t.To, t.Count)
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// UsageIntegrals holds each job's lifetime resource consumption: the
+// integral of usage over time in NCU-hours and NMU-hours (§7). Index i of
+// both slices refers to the same job.
+type UsageIntegrals struct {
+	CPUHours []float64
+	MemHours []float64
+}
+
+// JobUsageIntegrals integrates every job's usage records over time.
+// Alloc sets are excluded (they reserve rather than use).
+func JobUsageIntegrals(traces []*trace.MemTrace) UsageIntegrals {
+	var out UsageIntegrals
+	for _, tr := range traces {
+		isJob := make(map[trace.CollectionID]bool)
+		for _, info := range tr.CollectionInfos() {
+			if info.CollectionType == trace.CollectionJob {
+				isJob[info.ID] = true
+			}
+		}
+		cpu := make(map[trace.CollectionID]float64)
+		mem := make(map[trace.CollectionID]float64)
+		for _, rec := range tr.UsageRecords {
+			if !isJob[rec.Key.Collection] {
+				continue
+			}
+			h := (rec.End - rec.Start).Hours()
+			cpu[rec.Key.Collection] += rec.AvgUsage.CPU * h
+			mem[rec.Key.Collection] += rec.AvgUsage.Mem * h
+		}
+		ids := make([]trace.CollectionID, 0, len(cpu))
+		for id := range cpu {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			out.CPUHours = append(out.CPUHours, cpu[id])
+			out.MemHours = append(out.MemHours, mem[id])
+		}
+	}
+	return out
+}
+
+// Table2Column holds one column of the paper's Table 2: the distribution
+// of per-job resource-hours for one resource dimension in one era.
+type Table2Column struct {
+	Median      float64
+	Mean        float64
+	Variance    float64
+	P90         float64
+	P99         float64
+	P999        float64
+	Max         float64
+	Top1Share   float64 // load from the top 1% of jobs (paper 2019: 99.2%)
+	Top01Share  float64 // load from the top 0.1% (paper 2019: 93.1%)
+	C2          float64 // squared coefficient of variation (paper: 23k/43k)
+	ParetoAlpha float64 // fitted tail index (paper: 0.69/0.72)
+	ParetoR2    float64 // goodness of fit (paper: >99%)
+	N           int
+}
+
+// ComputeTable2Column derives all of Table 2's statistics for one sample
+// of per-job resource-hours. The Pareto fit follows the paper: jobs using
+// more than 1 resource-hour, excluding the top 0.01%.
+func ComputeTable2Column(hours []float64) Table2Column {
+	s := stats.Summarize(hours)
+	fit := stats.FitParetoTail(hours, 1, 0.9999)
+	return Table2Column{
+		Median:      s.Median,
+		Mean:        s.Mean,
+		Variance:    s.Variance,
+		P90:         s.P90,
+		P99:         s.P99,
+		P999:        s.P999,
+		Max:         s.Max,
+		Top1Share:   stats.TopShare(hours, 0.01),
+		Top01Share:  stats.TopShare(hours, 0.001),
+		C2:          s.C2,
+		ParetoAlpha: fit.Alpha,
+		ParetoR2:    fit.R2,
+		N:           s.N,
+	}
+}
+
+// UsageCCDF returns the log-log CCDF of per-job resource-hours evaluated
+// on a logarithmic grid (Figure 12's series).
+func UsageCCDF(hours []float64) []stats.CCDFPoint {
+	if len(hours) == 0 {
+		return nil
+	}
+	grid := LogGrid(1e-6, 1e5, 12)
+	return stats.CCDFSampled(hours, grid)
+}
+
+// LogGrid builds a logarithmic grid with pointsPerDecade points between
+// lo and hi.
+func LogGrid(lo, hi float64, pointsPerDecade int) []float64 {
+	var out []float64
+	step := math.Pow(10, 1/float64(pointsPerDecade))
+	for x := lo; x <= hi*1.0000001; x *= step {
+		out = append(out, x)
+	}
+	return out
+}
+
+// BucketPoint is one point of Figure 13: jobs bucketed by NCU-hours, with
+// the bucket's median NMU-hours.
+type BucketPoint struct {
+	NCUHours  float64 // bucket lower edge
+	MedianNMU float64
+	Jobs      int
+}
+
+// CPUMemCorrelation buckets jobs into 1-NCU-hour buckets and reports each
+// bucket's median NMU-hours plus the Pearson correlation across buckets
+// (paper: 0.97).
+func CPUMemCorrelation(integrals UsageIntegrals, maxBucket int) (points []BucketPoint, pearson float64) {
+	buckets := make(map[int][]float64)
+	for i, c := range integrals.CPUHours {
+		b := int(c)
+		if b < 0 || b >= maxBucket {
+			continue
+		}
+		buckets[b] = append(buckets[b], integrals.MemHours[i])
+	}
+	keys := make([]int, 0, len(buckets))
+	for b := range buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	var xs, ys []float64
+	for _, b := range keys {
+		med := stats.Quantile(buckets[b], 0.5)
+		points = append(points, BucketPoint{NCUHours: float64(b), MedianNMU: med, Jobs: len(buckets[b])})
+		xs = append(xs, float64(b))
+		ys = append(ys, med)
+	}
+	pearson = stats.Pearson(xs, ys)
+	return points, pearson
+}
+
+// SlackSamples groups per-record peak NCU slack percentages by the owning
+// collection's vertical-scaling strategy (Figure 14):
+//
+//	peak NCU slack = max(0, limit − max usage) / limit.
+func SlackSamples(traces []*trace.MemTrace) map[trace.VerticalScaling][]float64 {
+	out := make(map[trace.VerticalScaling][]float64)
+	for _, tr := range traces {
+		scaling := make(map[trace.CollectionID]trace.VerticalScaling)
+		isJob := make(map[trace.CollectionID]bool)
+		for _, info := range tr.CollectionInfos() {
+			scaling[info.ID] = info.Scaling
+			isJob[info.ID] = info.CollectionType == trace.CollectionJob
+		}
+		for _, rec := range tr.UsageRecords {
+			if !isJob[rec.Key.Collection] || rec.Limit.CPU <= 0 {
+				continue
+			}
+			slack := (rec.Limit.CPU - rec.MaxUsage.CPU) / rec.Limit.CPU
+			if slack < 0 {
+				slack = 0
+			}
+			mode := scaling[rec.Key.Collection]
+			out[mode] = append(out[mode], slack*100)
+		}
+	}
+	return out
+}
+
+// Table1Row is one row of Table 1's trace comparison.
+type Table1Row struct {
+	Metric string
+	V2011  string
+	V2019  string
+}
+
+// Table1 rebuilds the paper's Table 1 from generated traces.
+func Table1(t2011 *trace.MemTrace, t2019 []*trace.MemTrace) []Table1Row {
+	count2011 := traceInventory([]*trace.MemTrace{t2011})
+	count2019 := traceInventory(t2019)
+	boolStr := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "–"
+	}
+	rows := []Table1Row{
+		{"Duration (days)", fmtF(t2011.Meta.Duration.Hours() / 24), fmtF(t2019[0].Meta.Duration.Hours() / 24)},
+		{"Cells", "1", fmtI(len(t2019))},
+		{"Machines", fmtI(count2011.machines), fmtI(count2019.machines)},
+		{"Machines per cell", fmtI(count2011.machines), fmtI(count2019.machines / len(t2019))},
+		{"Hardware platforms", fmtI(count2011.platforms), fmtI(count2019.platforms)},
+		{"Machine shapes", fmtI(count2011.shapes), fmtI(count2019.shapes)},
+		{"Priority values", count2011.prioRange, count2019.prioRange},
+		{"Alloc sets", boolStr(count2011.allocSets), boolStr(count2019.allocSets)},
+		{"Job dependencies", boolStr(count2011.dependencies), boolStr(count2019.dependencies)},
+		{"Batch queueing", boolStr(count2011.batchQueue), boolStr(count2019.batchQueue)},
+		{"Vertical scaling", boolStr(count2011.vertical), boolStr(count2019.vertical)},
+	}
+	return rows
+}
+
+type inventory struct {
+	machines     int
+	platforms    int
+	shapes       int
+	prioRange    string
+	allocSets    bool
+	dependencies bool
+	batchQueue   bool
+	vertical     bool
+}
+
+func traceInventory(traces []*trace.MemTrace) inventory {
+	var inv inventory
+	platforms := make(map[string]bool)
+	shapes := make(map[trace.Resources]bool)
+	minPrio, maxPrio := math.MaxInt32, -1
+	for _, tr := range traces {
+		for _, ev := range tr.MachineCapacities() {
+			inv.machines++
+			platforms[ev.Platform] = true
+			shapes[ev.Capacity] = true
+		}
+		for _, info := range tr.CollectionInfos() {
+			if info.Priority < minPrio {
+				minPrio = info.Priority
+			}
+			if info.Priority > maxPrio {
+				maxPrio = info.Priority
+			}
+			if info.CollectionType == trace.CollectionAllocSet {
+				inv.allocSets = true
+			}
+			if info.Parent != 0 {
+				inv.dependencies = true
+			}
+			if info.Scaling != trace.ScalingNone {
+				inv.vertical = true
+			}
+		}
+		for _, ev := range tr.CollectionEvents {
+			if ev.Type == trace.EventQueue {
+				inv.batchQueue = true
+			}
+		}
+	}
+	inv.platforms = len(platforms)
+	inv.shapes = len(shapes)
+	if maxPrio >= 0 {
+		inv.prioRange = fmtI(minPrio) + "–" + fmtI(maxPrio)
+	}
+	return inv
+}
+
+func fmtI(v int) string { return strconv.Itoa(v) }
+
+func fmtF(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}

@@ -1,0 +1,267 @@
+// Package analysis implements every analysis of the paper over generated
+// traces: resource utilization and allocation series (Figures 2–5),
+// machine shape and utilization distributions (Figures 1 and 6), state
+// transitions (Figure 7), alloc-set and termination statistics (§5.1,
+// §5.2), scheduler load (Figures 8–10), tasks-per-job (Figure 11),
+// heavy-tailed usage integrals (Table 2, Figures 12–13), and Autopilot
+// slack (Figure 14). Table 1's inventory is derived from trace metadata.
+//
+// Functions accept one or more MemTraces; where the paper aggregates
+// across the 8 cells of the 2019 trace, pass all of them.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ShapePoint is one machine shape with its population (Figure 1).
+type ShapePoint struct {
+	CPU, Mem float64
+	Count    int
+}
+
+// MachineShapes returns the distinct machine shapes and their counts,
+// sorted by population descending (Figure 1's circle areas).
+func MachineShapes(tr *trace.MemTrace) []ShapePoint {
+	counts := make(map[trace.Resources]int)
+	for _, ev := range tr.MachineCapacities() {
+		counts[ev.Capacity]++
+	}
+	out := make([]ShapePoint, 0, len(counts))
+	for r, n := range counts {
+		out = append(out, ShapePoint{CPU: r.CPU, Mem: r.Mem, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].CPU != out[j].CPU {
+			return out[i].CPU < out[j].CPU
+		}
+		return out[i].Mem < out[j].Mem
+	})
+	return out
+}
+
+// TierSeries is an hourly stacked time series of per-tier fractions of
+// cell capacity (Figures 2 and 4).
+type TierSeries struct {
+	// Hours[i] is the start (in hours) of interval i.
+	Hours []float64
+	// CPU[tier][i] and Mem[tier][i] are fractions of cell capacity.
+	CPU map[trace.Tier][]float64
+	Mem map[trace.Tier][]float64
+}
+
+// newTierSeries allocates a zeroed series of n hours.
+func newTierSeries(n int) TierSeries {
+	s := TierSeries{
+		Hours: make([]float64, n),
+		CPU:   make(map[trace.Tier][]float64),
+		Mem:   make(map[trace.Tier][]float64),
+	}
+	for i := range s.Hours {
+		s.Hours[i] = float64(i)
+	}
+	for _, t := range trace.Tiers() {
+		s.CPU[t] = make([]float64, n)
+		s.Mem[t] = make([]float64, n)
+	}
+	return s
+}
+
+// totalCapacity sums the final capacities of a trace's machines.
+func totalCapacity(tr *trace.MemTrace) trace.Resources {
+	var sum trace.Resources
+	for _, ev := range tr.MachineCapacities() {
+		sum = sum.Add(ev.Capacity)
+	}
+	return sum
+}
+
+// inAllocJobs returns the set of collections that run inside alloc sets.
+func inAllocJobs(tr *trace.MemTrace) map[trace.CollectionID]bool {
+	out := make(map[trace.CollectionID]bool)
+	for _, info := range tr.CollectionInfos() {
+		if info.CollectionType == trace.CollectionJob && info.AllocSet != 0 {
+			out[info.ID] = true
+		}
+	}
+	return out
+}
+
+// UsageSeries computes Figure 2's hourly per-tier usage as a fraction of
+// cell capacity.
+func UsageSeries(tr *trace.MemTrace) TierSeries {
+	return series(tr, false)
+}
+
+// AllocationSeries computes Figure 4's hourly per-tier allocation (sum of
+// limits) as a fraction of cell capacity. Jobs running inside alloc sets
+// are excluded: their limits consume the alloc set's reservation, which is
+// already counted.
+func AllocationSeries(tr *trace.MemTrace) TierSeries {
+	return series(tr, true)
+}
+
+func series(tr *trace.MemTrace, allocation bool) TierSeries {
+	hours := int(tr.Meta.Duration / sim.Hour)
+	if hours <= 0 {
+		hours = 1
+	}
+	s := newTierSeries(hours)
+	capacity := totalCapacity(tr)
+	if capacity.CPU <= 0 || capacity.Mem <= 0 {
+		return s
+	}
+	var inAlloc map[trace.CollectionID]bool
+	if allocation {
+		inAlloc = inAllocJobs(tr)
+	}
+	windowHours := sim.SampleWindow.Hours()
+	for _, rec := range tr.UsageRecords {
+		h := int(rec.Start / sim.Hour)
+		if h < 0 || h >= hours {
+			continue
+		}
+		v := rec.AvgUsage
+		if allocation {
+			if inAlloc[rec.Key.Collection] {
+				continue
+			}
+			v = rec.Limit
+		}
+		// Resource-hours contributed to this hour bucket, as a fraction
+		// of the cell's hourly resource capacity.
+		s.CPU[rec.Tier][h] += v.CPU * windowHours / capacity.CPU
+		s.Mem[rec.Tier][h] += v.Mem * windowHours / capacity.Mem
+	}
+	return s
+}
+
+// AverageSeries averages several cells' series point-wise (the paper's
+// "averaged across all 8 cells" panels). Series must have equal lengths;
+// shorter series are padded as missing (ignored at that index).
+func AverageSeries(all []TierSeries) TierSeries {
+	n := 0
+	for _, s := range all {
+		if len(s.Hours) > n {
+			n = len(s.Hours)
+		}
+	}
+	out := newTierSeries(n)
+	for i := 0; i < n; i++ {
+		for _, tier := range trace.Tiers() {
+			var sum float64
+			var count int
+			for _, s := range all {
+				if i < len(s.CPU[tier]) {
+					sum += s.CPU[tier][i]
+					count++
+				}
+			}
+			if count > 0 {
+				out.CPU[tier][i] = sum / float64(count)
+			}
+			sum, count = 0, 0
+			for _, s := range all {
+				if i < len(s.Mem[tier]) {
+					sum += s.Mem[tier][i]
+					count++
+				}
+			}
+			if count > 0 {
+				out.Mem[tier][i] = sum / float64(count)
+			}
+		}
+	}
+	return out
+}
+
+// TierAverages is one cell's whole-trace average utilization or
+// allocation by tier (one group of bars in Figures 3 and 5).
+type TierAverages struct {
+	Cell string
+	CPU  map[trace.Tier]float64
+	Mem  map[trace.Tier]float64
+}
+
+// AverageUsageByTier computes Figure 3's per-cell bars: the mean over
+// post-warmup hours of the per-tier usage fraction.
+func AverageUsageByTier(tr *trace.MemTrace, warmup sim.Time) TierAverages {
+	return averageByTier(UsageSeries(tr), tr.Meta.Cell, warmup)
+}
+
+// AverageAllocationByTier computes Figure 5's per-cell bars.
+func AverageAllocationByTier(tr *trace.MemTrace, warmup sim.Time) TierAverages {
+	return averageByTier(AllocationSeries(tr), tr.Meta.Cell, warmup)
+}
+
+func averageByTier(s TierSeries, cell string, warmup sim.Time) TierAverages {
+	out := TierAverages{
+		Cell: cell,
+		CPU:  make(map[trace.Tier]float64),
+		Mem:  make(map[trace.Tier]float64),
+	}
+	start := int(warmup / sim.Hour)
+	if start >= len(s.Hours) {
+		start = 0
+	}
+	n := len(s.Hours) - start
+	if n <= 0 {
+		return out
+	}
+	for _, tier := range trace.Tiers() {
+		var c, m float64
+		for i := start; i < len(s.Hours); i++ {
+			c += s.CPU[tier][i]
+			m += s.Mem[tier][i]
+		}
+		out.CPU[tier] = c / float64(n)
+		out.Mem[tier] = m / float64(n)
+	}
+	return out
+}
+
+// MachineUtilization returns each machine's usage÷capacity in the sampling
+// window containing at; machines with no usage records in the window count
+// as zero (Figure 6's snapshot distribution).
+func MachineUtilization(tr *trace.MemTrace, at sim.Time) (cpu, mem []float64) {
+	caps := tr.MachineCapacities()
+	usage := make(map[trace.MachineID]trace.Resources, len(caps))
+	for _, rec := range tr.UsageRecords {
+		if rec.Start <= at && at < rec.End && rec.Machine != 0 {
+			usage[rec.Machine] = usage[rec.Machine].Add(rec.AvgUsage)
+		}
+	}
+	ids := make([]trace.MachineID, 0, len(caps))
+	for id := range caps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := caps[id].Capacity
+		u := usage[id]
+		// Work-conserving machines cannot exceed their physical capacity;
+		// records of tasks that stopped mid-window can overlap the
+		// snapshot instant with the survivors' windows, so clamp.
+		if c.CPU > 0 {
+			cpu = append(cpu, math.Min(1, u.CPU/c.CPU))
+		}
+		if c.Mem > 0 {
+			mem = append(mem, math.Min(1, u.Mem/c.Mem))
+		}
+	}
+	return cpu, mem
+}
+
+// MachineUtilizationCCDF computes Figure 6's CCDFs for one cell.
+func MachineUtilizationCCDF(tr *trace.MemTrace, at sim.Time) (cpu, mem []stats.CCDFPoint) {
+	c, m := MachineUtilization(tr, at)
+	return stats.CCDF(c), stats.CCDF(m)
+}

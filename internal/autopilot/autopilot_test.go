@@ -1,0 +1,185 @@
+package autopilot
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func setup(t *testing.T, scaling trace.VerticalScaling, request trace.Resources) (*Autopilot, *cluster.Cell, *scheduler.Task, *trace.MemTrace) {
+	t.Helper()
+	cell := cluster.NewCell("test")
+	m := cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+	tr := trace.NewMemTrace(trace.Meta{})
+	oc := cluster.OvercommitPolicy{CPUFactor: 1.2, MemFactor: 1.2}
+	ap := New(DefaultConfig(oc), cell, tr)
+
+	j := scheduler.NewJob(1)
+	j.Type = trace.CollectionJob
+	j.Priority = 120
+	j.Tier = trace.TierProduction
+	j.Scaling = scaling
+	task := &scheduler.Task{Request: request, Duration: sim.Hour}
+	j.AddTask(task)
+	task.Machine = m.ID
+	cell.Place(m.ID, &cluster.Resident{Key: task.Key, Limit: request, Priority: 120, Tier: trace.TierProduction})
+	return ap, cell, task, tr
+}
+
+func TestNoneStrategyNeverAdjusts(t *testing.T) {
+	ap, _, task, tr := setup(t, trace.ScalingNone, trace.Resources{CPU: 0.4, Mem: 0.4})
+	for i := 0; i < 20; i++ {
+		got := ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.05, Mem: 0.05})
+		if got != task.Request || got.CPU != 0.4 {
+			t.Fatalf("limit changed for non-autoscaled task: %v", got)
+		}
+	}
+	if ap.Updates() != 0 || len(tr.InstanceEvents) != 0 {
+		t.Fatalf("updates %d events %d", ap.Updates(), len(tr.InstanceEvents))
+	}
+	if ap.Tracked() != 0 {
+		t.Fatal("none tasks should not be tracked")
+	}
+}
+
+func TestFullShrinksTowardPeak(t *testing.T) {
+	ap, cell, task, tr := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.4, Mem: 0.4})
+	for i := 0; i < 15; i++ {
+		ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.05, Mem: 0.08})
+	}
+	// Limit should approach peak × margin = 0.05×1.1 / 0.08×1.1.
+	if task.Request.CPU > 0.06 || task.Request.Mem > 0.095 {
+		t.Fatalf("limit did not shrink: %+v", task.Request)
+	}
+	if task.Request.CPU < 0.05 || task.Request.Mem < 0.08 {
+		t.Fatalf("limit below peak: %+v", task.Request)
+	}
+	if ap.Updates() == 0 {
+		t.Fatal("no updates issued")
+	}
+	// Machine allocation tracks the shrunken limit.
+	m := cell.Machine(task.Machine)
+	if m.Allocated().CPU > 0.06 {
+		t.Fatalf("machine allocation not updated: %v", m.Allocated())
+	}
+	// UPDATE_RUNNING events were emitted.
+	found := false
+	for _, ev := range tr.InstanceEvents {
+		if ev.Type == trace.EventUpdateRunning {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no UPDATE_RUNNING events")
+	}
+}
+
+func TestFullGrowsOnPressure(t *testing.T) {
+	ap, _, task, _ := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.1, Mem: 0.1})
+	for i := 0; i < 5; i++ {
+		ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.3, Mem: 0.3})
+	}
+	if task.Request.CPU < 0.3 || task.Request.Mem < 0.3 {
+		t.Fatalf("limit did not grow above usage: %+v", task.Request)
+	}
+}
+
+func TestGrowthCappedByMachineHeadroom(t *testing.T) {
+	ap, cell, task, _ := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.1, Mem: 0.1})
+	// Fill the machine with another resident so headroom is scarce.
+	m := cell.Machine(task.Machine)
+	cell.Place(m.ID, &cluster.Resident{
+		Key:   trace.InstanceKey{Collection: 99},
+		Limit: trace.Resources{CPU: 1.0, Mem: 1.0},
+	})
+	for i := 0; i < 5; i++ {
+		ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.9, Mem: 0.9})
+	}
+	ceiling := ap.cfg.Overcommit.AllocationCeiling(m.Capacity)
+	if alloc := m.Allocated(); alloc.CPU > ceiling.CPU+1e-9 || alloc.Mem > ceiling.Mem+1e-9 {
+		t.Fatalf("allocation %v exceeds ceiling %v", alloc, ceiling)
+	}
+}
+
+func TestConstrainedFloor(t *testing.T) {
+	ap, _, task, _ := setup(t, trace.ScalingConstrained, trace.Resources{CPU: 0.4, Mem: 0.4})
+	for i := 0; i < 20; i++ {
+		ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.01, Mem: 0.01})
+	}
+	floor := 0.4 * ap.cfg.ConstrainedFloor
+	if task.Request.CPU < floor-1e-9 {
+		t.Fatalf("constrained limit %v fell below floor %v", task.Request.CPU, floor)
+	}
+	// Full scaling with the same usage would shrink far below the floor.
+	ap2, _, task2, _ := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.4, Mem: 0.4})
+	for i := 0; i < 20; i++ {
+		ap2.Observe(sim.Time(i)*sim.SampleWindow, task2, trace.Resources{CPU: 0.01, Mem: 0.01})
+	}
+	if task2.Request.CPU >= task.Request.CPU {
+		t.Fatalf("full (%v) should shrink below constrained (%v)", task2.Request.CPU, task.Request.CPU)
+	}
+}
+
+func TestWindowPeakMemory(t *testing.T) {
+	ap, _, task, _ := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.5, Mem: 0.5})
+	// One tall peak, then quiet: the percentile recommender must keep the
+	// limit well above the quiet level while the peak is in the window.
+	ap.Observe(0, task, trace.Resources{CPU: 0.4, Mem: 0.4})
+	for i := 1; i < 6; i++ {
+		ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.05, Mem: 0.05})
+	}
+	// With the p85 recommender, one 0.4 peak among five 0.05 samples
+	// keeps the limit well above the quiet level (≈0.14), though below
+	// the raw peak.
+	if task.Request.CPU < 0.1 {
+		t.Fatalf("limit %v forgot an in-window peak", task.Request.CPU)
+	}
+	// After the window slides past the peak, the limit shrinks.
+	for i := 6; i < 25; i++ {
+		ap.Observe(sim.Time(i)*sim.SampleWindow, task, trace.Resources{CPU: 0.05, Mem: 0.05})
+	}
+	if task.Request.CPU > 0.1 {
+		t.Fatalf("limit %v did not shrink after peak left the window", task.Request.CPU)
+	}
+}
+
+func TestHysteresisSuppressesSmallChanges(t *testing.T) {
+	ap, _, task, _ := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.11, Mem: 0.11})
+	ap.Observe(0, task, trace.Resources{CPU: 0.1, Mem: 0.1})
+	base := ap.Updates()
+	// Recommended = 0.1 × 1.1 = 0.11 = current limit: no update.
+	ap.Observe(sim.SampleWindow, task, trace.Resources{CPU: 0.1, Mem: 0.1})
+	if ap.Updates() != base {
+		t.Fatalf("update issued for insignificant change (updates %d -> %d)", base, ap.Updates())
+	}
+}
+
+func TestForget(t *testing.T) {
+	ap, _, task, _ := setup(t, trace.ScalingFull, trace.Resources{CPU: 0.4, Mem: 0.4})
+	ap.Observe(0, task, trace.Resources{CPU: 0.1, Mem: 0.1})
+	if ap.Tracked() != 1 {
+		t.Fatalf("tracked %d", ap.Tracked())
+	}
+	ap.Forget(task.Key)
+	if ap.Tracked() != 0 {
+		t.Fatalf("tracked after forget %d", ap.Tracked())
+	}
+}
+
+func TestSignificant(t *testing.T) {
+	if significant(1.0, 1.01, 0.05) {
+		t.Fatal("1% change flagged at 5% threshold")
+	}
+	if !significant(1.0, 1.2, 0.05) {
+		t.Fatal("20% change not flagged")
+	}
+	if !significant(0, 0.5, 0.05) {
+		t.Fatal("growth from zero not flagged")
+	}
+	if significant(0, 0, 0.05) {
+		t.Fatal("zero to zero flagged")
+	}
+}

@@ -1,0 +1,336 @@
+// Package cluster models the physical substrate of a Borg cell: machines
+// with heterogeneous shapes (Figure 1), capacity and allocation accounting
+// with overcommit (Figure 4), and resident-instance tracking used by the
+// scheduler for placement, preemption, and OOM handling.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Shape is a machine configuration: normalized CPU/memory capacity plus
+// the hardware platform it belongs to. Weight is the relative frequency of
+// the shape in the fleet.
+type Shape struct {
+	Capacity trace.Resources
+	Platform string
+	Weight   float64
+}
+
+// Shapes2011 reproduces the 2011 trace's machine mix: 10 machine shapes
+// across 3 hardware platforms (Table 1), dominated by one mid-size shape,
+// with capacities normalized to the largest machine.
+var Shapes2011 = []Shape{
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.50}, Platform: "A", Weight: 0.53},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.25}, Platform: "A", Weight: 0.31},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.75}, Platform: "A", Weight: 0.08},
+	{Capacity: trace.Resources{CPU: 1.00, Mem: 1.00}, Platform: "B", Weight: 0.01},
+	{Capacity: trace.Resources{CPU: 0.25, Mem: 0.25}, Platform: "B", Weight: 0.03},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.12}, Platform: "B", Weight: 0.01},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.03}, Platform: "B", Weight: 0.005},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.97}, Platform: "C", Weight: 0.004},
+	{Capacity: trace.Resources{CPU: 1.00, Mem: 0.50}, Platform: "C", Weight: 0.006},
+	{Capacity: trace.Resources{CPU: 0.25, Mem: 0.50}, Platform: "C", Weight: 0.005},
+}
+
+// Shapes2019 reproduces the 2019 mix: 21 shapes across 7 platforms with a
+// much wider spread of CPU:memory ratios (Figure 1, Table 1).
+var Shapes2019 = []Shape{
+	{Capacity: trace.Resources{CPU: 0.25, Mem: 0.25}, Platform: "P0", Weight: 0.18},
+	{Capacity: trace.Resources{CPU: 0.35, Mem: 0.25}, Platform: "P0", Weight: 0.12},
+	{Capacity: trace.Resources{CPU: 0.35, Mem: 0.45}, Platform: "P0", Weight: 0.10},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.50}, Platform: "P1", Weight: 0.14},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.25}, Platform: "P1", Weight: 0.08},
+	{Capacity: trace.Resources{CPU: 0.50, Mem: 0.75}, Platform: "P1", Weight: 0.05},
+	{Capacity: trace.Resources{CPU: 0.60, Mem: 0.35}, Platform: "P2", Weight: 0.06},
+	{Capacity: trace.Resources{CPU: 0.60, Mem: 0.60}, Platform: "P2", Weight: 0.05},
+	{Capacity: trace.Resources{CPU: 0.60, Mem: 0.90}, Platform: "P2", Weight: 0.02},
+	{Capacity: trace.Resources{CPU: 0.75, Mem: 0.50}, Platform: "P3", Weight: 0.04},
+	{Capacity: trace.Resources{CPU: 0.75, Mem: 0.75}, Platform: "P3", Weight: 0.04},
+	{Capacity: trace.Resources{CPU: 0.75, Mem: 1.00}, Platform: "P3", Weight: 0.02},
+	{Capacity: trace.Resources{CPU: 1.00, Mem: 0.50}, Platform: "P4", Weight: 0.02},
+	{Capacity: trace.Resources{CPU: 1.00, Mem: 0.75}, Platform: "P4", Weight: 0.02},
+	{Capacity: trace.Resources{CPU: 1.00, Mem: 1.00}, Platform: "P4", Weight: 0.02},
+	{Capacity: trace.Resources{CPU: 0.30, Mem: 0.60}, Platform: "P5", Weight: 0.01},
+	{Capacity: trace.Resources{CPU: 0.30, Mem: 0.90}, Platform: "P5", Weight: 0.01},
+	{Capacity: trace.Resources{CPU: 0.15, Mem: 0.15}, Platform: "P5", Weight: 0.01},
+	{Capacity: trace.Resources{CPU: 0.90, Mem: 0.30}, Platform: "P6", Weight: 0.005},
+	{Capacity: trace.Resources{CPU: 0.90, Mem: 0.15}, Platform: "P6", Weight: 0.0025},
+	{Capacity: trace.Resources{CPU: 0.15, Mem: 0.45}, Platform: "P6", Weight: 0.0025},
+}
+
+// Resident is one instance placed on a machine, with the accounting data
+// the scheduler needs for preemption and OOM-victim selection.
+type Resident struct {
+	Key      trace.InstanceKey
+	Limit    trace.Resources
+	Priority int
+	Tier     trace.Tier
+	// Usage is the most recent sampled usage; updated by the usage model
+	// each sampling window.
+	Usage trace.Resources
+}
+
+// Machine is one node of the cell with capacity, allocation, and resident
+// accounting. All mutation goes through the Cell so that cell-level
+// aggregates stay consistent.
+type Machine struct {
+	ID       trace.MachineID
+	Capacity trace.Resources
+	Platform string
+
+	allocated trace.Resources
+	residents map[trace.InstanceKey]*Resident
+}
+
+// Allocated returns the summed limits of residents.
+func (m *Machine) Allocated() trace.Resources { return m.allocated }
+
+// NumResidents returns the number of placed instances.
+func (m *Machine) NumResidents() int { return len(m.residents) }
+
+// Residents returns the resident list sorted by (priority asc, key) —
+// i.e. preemption-victim order first.
+func (m *Machine) Residents() []*Resident {
+	out := make([]*Resident, 0, len(m.residents))
+	for _, r := range m.residents {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		if out[i].Key.Collection != out[j].Key.Collection {
+			return out[i].Key.Collection < out[j].Key.Collection
+		}
+		return out[i].Key.Index < out[j].Key.Index
+	})
+	return out
+}
+
+// Resident returns the resident with the given key, or nil.
+func (m *Machine) Resident(key trace.InstanceKey) *Resident {
+	return m.residents[key]
+}
+
+// UsageTotal sums the last-sampled usage of all residents.
+func (m *Machine) UsageTotal() trace.Resources {
+	var sum trace.Resources
+	for _, r := range m.residents {
+		sum = sum.Add(r.Usage)
+	}
+	return sum
+}
+
+// OvercommitPolicy bounds the ratio of summed limits to capacity per
+// resource dimension (§4: in 2011 CPU was more aggressively over-committed
+// than memory; by 2019 they are comparable).
+type OvercommitPolicy struct {
+	CPUFactor float64
+	MemFactor float64
+}
+
+// AllocationCeiling returns the machine allocation bound under the policy.
+func (p OvercommitPolicy) AllocationCeiling(capacity trace.Resources) trace.Resources {
+	return trace.Resources{
+		CPU: capacity.CPU * p.CPUFactor,
+		Mem: capacity.Mem * p.MemFactor,
+	}
+}
+
+// FitsLimit reports whether a request fits on m under the overcommit
+// policy, considering current allocation.
+func (m *Machine) FitsLimit(request trace.Resources, policy OvercommitPolicy) bool {
+	ceiling := policy.AllocationCeiling(m.Capacity)
+	after := m.allocated.Add(request)
+	return after.CPU <= ceiling.CPU+1e-12 && after.Mem <= ceiling.Mem+1e-12
+}
+
+// Cell is a set of machines operated as one scheduling domain.
+type Cell struct {
+	Name string
+
+	machines map[trace.MachineID]*Machine
+	ids      []trace.MachineID // sorted, kept in sync with machines
+	capacity trace.Resources   // total live capacity
+	nextID   trace.MachineID
+}
+
+// NewCell returns an empty cell.
+func NewCell(name string) *Cell {
+	return &Cell{
+		Name:     name,
+		machines: make(map[trace.MachineID]*Machine),
+		nextID:   1,
+	}
+}
+
+// AddMachine creates a machine with the given shape and returns it.
+func (c *Cell) AddMachine(capacity trace.Resources, platform string) *Machine {
+	m := &Machine{
+		ID:        c.nextID,
+		Capacity:  capacity,
+		Platform:  platform,
+		residents: make(map[trace.InstanceKey]*Resident),
+	}
+	c.nextID++
+	c.machines[m.ID] = m
+	c.ids = append(c.ids, m.ID)
+	c.capacity = c.capacity.Add(capacity)
+	return m
+}
+
+// RemoveMachine deletes a machine from the cell and returns its residents
+// (which the caller must reschedule). Removing an unknown machine panics.
+func (c *Cell) RemoveMachine(id trace.MachineID) []*Resident {
+	m, ok := c.machines[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: removing unknown machine %d", id))
+	}
+	res := m.Residents()
+	for _, r := range res {
+		c.Remove(id, r.Key)
+	}
+	delete(c.machines, id)
+	for i, mid := range c.ids {
+		if mid == id {
+			c.ids = append(c.ids[:i], c.ids[i+1:]...)
+			break
+		}
+	}
+	c.capacity = c.capacity.Sub(m.Capacity)
+	return res
+}
+
+// Machine returns the machine with the given ID, or nil.
+func (c *Cell) Machine(id trace.MachineID) *Machine { return c.machines[id] }
+
+// NumMachines returns the count of live machines.
+func (c *Cell) NumMachines() int { return len(c.machines) }
+
+// Capacity returns the total live capacity of the cell.
+func (c *Cell) Capacity() trace.Resources { return c.capacity }
+
+// MachineIDs returns the live machine IDs in ascending order.
+func (c *Cell) MachineIDs() []trace.MachineID { return c.ids }
+
+// Machines calls fn for every live machine in ID order.
+func (c *Cell) Machines(fn func(m *Machine)) {
+	for _, id := range c.ids {
+		fn(c.machines[id])
+	}
+}
+
+// Place adds a resident to a machine. It panics on unknown machines or
+// duplicate placement — both indicate scheduler bugs, not runtime
+// conditions.
+func (c *Cell) Place(id trace.MachineID, r *Resident) {
+	m, ok := c.machines[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: placing on unknown machine %d", id))
+	}
+	if _, dup := m.residents[r.Key]; dup {
+		panic(fmt.Sprintf("cluster: instance %s already on machine %d", r.Key, id))
+	}
+	m.residents[r.Key] = r
+	m.allocated = m.allocated.Add(r.Limit)
+}
+
+// Remove detaches a resident from a machine and returns it. Removing a
+// non-resident instance panics.
+func (c *Cell) Remove(id trace.MachineID, key trace.InstanceKey) *Resident {
+	m, ok := c.machines[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: removing from unknown machine %d", id))
+	}
+	r, ok := m.residents[key]
+	if !ok {
+		panic(fmt.Sprintf("cluster: instance %s not on machine %d", key, id))
+	}
+	delete(m.residents, key)
+	m.allocated = m.allocated.Sub(r.Limit)
+	// Clamp numeric drift so long simulations cannot accumulate negative
+	// allocation.
+	if m.allocated.CPU < 0 {
+		m.allocated.CPU = 0
+	}
+	if m.allocated.Mem < 0 {
+		m.allocated.Mem = 0
+	}
+	return r
+}
+
+// UpdateLimit changes a resident's limit in place, keeping the machine's
+// allocation aggregate consistent. Used by Autopilot's vertical scaling.
+func (c *Cell) UpdateLimit(id trace.MachineID, key trace.InstanceKey, limit trace.Resources) {
+	m, ok := c.machines[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: updating on unknown machine %d", id))
+	}
+	r, ok := m.residents[key]
+	if !ok {
+		panic(fmt.Sprintf("cluster: instance %s not on machine %d", key, id))
+	}
+	m.allocated = m.allocated.Sub(r.Limit).Add(limit)
+	r.Limit = limit
+}
+
+// TotalAllocated sums limit allocation across all machines.
+func (c *Cell) TotalAllocated() trace.Resources {
+	var sum trace.Resources
+	for _, id := range c.ids {
+		sum = sum.Add(c.machines[id].allocated)
+	}
+	return sum
+}
+
+// BuildCell creates a cell of n machines drawn from the shape catalog
+// with the catalog's weights, using src for shape selection.
+func BuildCell(name string, n int, shapes []Shape, src *rng.Source) *Cell {
+	if len(shapes) == 0 {
+		panic("cluster: empty shape catalog")
+	}
+	weights := make([]float64, len(shapes))
+	for i, s := range shapes {
+		weights[i] = s.Weight
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	c := NewCell(name)
+	for i := 0; i < n; i++ {
+		u := src.Float64() * total
+		j := sort.SearchFloat64s(cum, u)
+		if j >= len(shapes) {
+			j = len(shapes) - 1
+		}
+		c.AddMachine(shapes[j].Capacity, shapes[j].Platform)
+	}
+	return c
+}
+
+// ShapeStats counts machines per distinct (CPU, Mem) shape; used by the
+// Figure 1 analysis and Table 1's "machine shapes" row.
+func (c *Cell) ShapeStats() map[trace.Resources]int {
+	out := make(map[trace.Resources]int)
+	for _, id := range c.ids {
+		out[c.machines[id].Capacity]++
+	}
+	return out
+}
+
+// Platforms returns the set of distinct hardware platforms in the cell.
+func (c *Cell) Platforms() map[string]int {
+	out := make(map[string]int)
+	for _, id := range c.ids {
+		out[c.machines[id].Platform]++
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func res(c, m float64) trace.Resources { return trace.Resources{CPU: c, Mem: m} }
+
+func TestAddMachineAndCapacity(t *testing.T) {
+	c := NewCell("test")
+	m1 := c.AddMachine(res(1, 1), "P0")
+	m2 := c.AddMachine(res(0.5, 0.25), "P1")
+	if m1.ID == m2.ID {
+		t.Fatal("duplicate machine IDs")
+	}
+	if c.NumMachines() != 2 {
+		t.Fatalf("machines %d", c.NumMachines())
+	}
+	if got := c.Capacity(); got != res(1.5, 1.25) {
+		t.Fatalf("capacity %v", got)
+	}
+	if c.Machine(m1.ID) != m1 {
+		t.Fatal("lookup")
+	}
+	if c.Machine(999) != nil {
+		t.Fatal("unknown machine should be nil")
+	}
+	if len(c.MachineIDs()) != 2 {
+		t.Fatal("ids")
+	}
+}
+
+func TestPlaceRemoveAccounting(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	r := &Resident{Key: trace.InstanceKey{Collection: 1, Index: 0}, Limit: res(0.3, 0.2), Priority: 120, Tier: trace.TierProduction}
+	c.Place(m.ID, r)
+	if m.Allocated() != res(0.3, 0.2) {
+		t.Fatalf("allocated %v", m.Allocated())
+	}
+	if m.NumResidents() != 1 {
+		t.Fatal("residents")
+	}
+	if m.Resident(r.Key) != r {
+		t.Fatal("resident lookup")
+	}
+	got := c.Remove(m.ID, r.Key)
+	if got != r {
+		t.Fatal("removed resident mismatch")
+	}
+	if m.Allocated() != res(0, 0) || m.NumResidents() != 0 {
+		t.Fatalf("post-remove state %v %d", m.Allocated(), m.NumResidents())
+	}
+}
+
+func TestPlacePanics(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	r := &Resident{Key: trace.InstanceKey{Collection: 1}}
+	c.Place(m.ID, r)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate place", func() { c.Place(m.ID, r) })
+	mustPanic("unknown machine", func() { c.Place(999, &Resident{}) })
+	mustPanic("remove missing", func() { c.Remove(m.ID, trace.InstanceKey{Collection: 9}) })
+	mustPanic("remove unknown machine", func() { c.Remove(999, r.Key) })
+	mustPanic("remove unknown cell machine", func() { c.RemoveMachine(999) })
+	mustPanic("update missing", func() { c.UpdateLimit(m.ID, trace.InstanceKey{Collection: 9}, res(0, 0)) })
+}
+
+func TestResidentsOrderedByPriority(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: 1}, Priority: 200})
+	c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: 2}, Priority: 0})
+	c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: 3}, Priority: 110})
+	rs := m.Residents()
+	if rs[0].Priority != 0 || rs[1].Priority != 110 || rs[2].Priority != 200 {
+		t.Fatalf("victim order %v", rs)
+	}
+}
+
+func TestFitsLimitOvercommit(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	noOC := OvercommitPolicy{CPUFactor: 1, MemFactor: 1}
+	oc := OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.2}
+	c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: 1}, Limit: res(0.9, 0.9)})
+	if m.FitsLimit(res(0.2, 0.05), noOC) {
+		t.Fatal("should not fit without overcommit")
+	}
+	if !m.FitsLimit(res(0.2, 0.05), oc) {
+		t.Fatal("should fit with overcommit")
+	}
+	if m.FitsLimit(res(0.7, 0.05), oc) {
+		t.Fatal("exceeds even overcommit ceiling")
+	}
+	ceiling := oc.AllocationCeiling(res(1, 1))
+	if ceiling != res(1.5, 1.2) {
+		t.Fatalf("ceiling %v", ceiling)
+	}
+}
+
+func TestUpdateLimit(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	key := trace.InstanceKey{Collection: 1}
+	c.Place(m.ID, &Resident{Key: key, Limit: res(0.5, 0.5)})
+	c.UpdateLimit(m.ID, key, res(0.2, 0.3))
+	if m.Allocated() != res(0.2, 0.3) {
+		t.Fatalf("allocated after update %v", m.Allocated())
+	}
+	if m.Resident(key).Limit != res(0.2, 0.3) {
+		t.Fatal("resident limit not updated")
+	}
+}
+
+func TestUsageTotal(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	r1 := &Resident{Key: trace.InstanceKey{Collection: 1}, Usage: res(0.1, 0.2)}
+	r2 := &Resident{Key: trace.InstanceKey{Collection: 2}, Usage: res(0.3, 0.1)}
+	c.Place(m.ID, r1)
+	c.Place(m.ID, r2)
+	got := m.UsageTotal()
+	if got.CPU < 0.4-1e-12 || got.CPU > 0.4+1e-12 || got.Mem < 0.3-1e-12 || got.Mem > 0.3+1e-12 {
+		t.Fatalf("usage total %v", got)
+	}
+}
+
+func TestRemoveMachineReturnsResidents(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	c.AddMachine(res(1, 1), "P0")
+	c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: 1}})
+	c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: 2}})
+	evicted := c.RemoveMachine(m.ID)
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %d", len(evicted))
+	}
+	if c.NumMachines() != 1 {
+		t.Fatalf("machines %d", c.NumMachines())
+	}
+	if c.Capacity() != res(1, 1) {
+		t.Fatalf("capacity %v", c.Capacity())
+	}
+	if c.Machine(m.ID) != nil {
+		t.Fatal("machine still present")
+	}
+}
+
+func TestTotalAllocated(t *testing.T) {
+	c := NewCell("test")
+	m1 := c.AddMachine(res(1, 1), "P0")
+	m2 := c.AddMachine(res(1, 1), "P0")
+	c.Place(m1.ID, &Resident{Key: trace.InstanceKey{Collection: 1}, Limit: res(0.5, 0.1)})
+	c.Place(m2.ID, &Resident{Key: trace.InstanceKey{Collection: 2}, Limit: res(0.25, 0.2)})
+	got := c.TotalAllocated()
+	if got.CPU != 0.75 || got.Mem < 0.3-1e-12 || got.Mem > 0.3+1e-12 {
+		t.Fatalf("total allocated %v", got)
+	}
+}
+
+func TestBuildCellShapes(t *testing.T) {
+	src := rng.New(1)
+	c := BuildCell("a", 2000, Shapes2019, src)
+	if c.NumMachines() != 2000 {
+		t.Fatalf("machines %d", c.NumMachines())
+	}
+	shapes := c.ShapeStats()
+	if len(shapes) < 15 {
+		t.Fatalf("only %d distinct shapes in a 2000-machine 2019 cell", len(shapes))
+	}
+	platforms := c.Platforms()
+	if len(platforms) != 7 {
+		t.Fatalf("platforms %d, want 7", len(platforms))
+	}
+
+	c11 := BuildCell("2011", 2000, Shapes2011, src)
+	if got := len(c11.Platforms()); got != 3 {
+		t.Fatalf("2011 platforms %d, want 3", got)
+	}
+	if got := len(c11.ShapeStats()); got > 10 {
+		t.Fatalf("2011 shapes %d, want <= 10", got)
+	}
+}
+
+func TestShapeCatalogsMatchTable1(t *testing.T) {
+	if len(Shapes2011) != 10 {
+		t.Fatalf("2011 catalog has %d shapes, want 10", len(Shapes2011))
+	}
+	if len(Shapes2019) != 21 {
+		t.Fatalf("2019 catalog has %d shapes, want 21", len(Shapes2019))
+	}
+	plat := map[string]bool{}
+	for _, s := range Shapes2019 {
+		plat[s.Platform] = true
+		if s.Capacity.CPU <= 0 || s.Capacity.CPU > 1 || s.Capacity.Mem <= 0 || s.Capacity.Mem > 1 {
+			t.Fatalf("shape out of normalized range: %+v", s)
+		}
+	}
+	if len(plat) != 7 {
+		t.Fatalf("2019 platforms %d, want 7", len(plat))
+	}
+}
+
+func TestBuildCellPanicsOnEmptyCatalog(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	BuildCell("x", 10, nil, rng.New(1))
+}
+
+// Property: placement/removal keeps allocation equal to the sum of
+// resident limits.
+func TestAllocationConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewCell("p")
+		m := c.AddMachine(res(100, 100), "P0")
+		placed := map[trace.InstanceKey]trace.Resources{}
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 || len(placed) == 0 {
+				key := trace.InstanceKey{Collection: trace.CollectionID(next)}
+				next++
+				lim := res(float64(op%7)/10, float64(op%5)/10)
+				c.Place(m.ID, &Resident{Key: key, Limit: lim})
+				placed[key] = lim
+			} else {
+				for key := range placed {
+					c.Remove(m.ID, key)
+					delete(placed, key)
+					break
+				}
+			}
+		}
+		var want trace.Resources
+		for _, lim := range placed {
+			want = want.Add(lim)
+		}
+		got := m.Allocated()
+		const eps = 1e-9
+		return got.CPU > want.CPU-eps && got.CPU < want.CPU+eps &&
+			got.Mem > want.Mem-eps && got.Mem < want.Mem+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package core is the public façade of the reproduction: it wires the
+// cluster substrate, the Borg scheduler, the Autopilot vertical autoscaler
+// and the calibrated workload generator into a discrete-event simulation
+// of one Borg cell, and emits a 2019-schema trace while it runs.
+//
+// Typical use:
+//
+//	profile := workload.Profile2019("a", 600)
+//	res := core.Run(profile, core.Options{Horizon: 48 * sim.Hour, Seed: 1})
+//	violations := trace.Validate(res.Trace, trace.DefaultValidateOptions())
+//
+// The resulting MemTrace feeds the analysis package, which regenerates
+// every table and figure of the paper.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/autopilot"
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures one cell simulation.
+type Options struct {
+	// Horizon is the simulated duration (the trace window).
+	Horizon sim.Time
+	// Seed is the root seed; every random stream derives from it, so a
+	// (profile, horizon, seed) triple fully determines the trace.
+	Seed uint64
+	// Histograms enables per-window 21-bucket CPU histograms on usage
+	// records (costly; off by default).
+	Histograms bool
+	// ExtraSinks receive every trace row in addition to the in-memory
+	// store (e.g. streaming analyzers).
+	ExtraSinks []trace.Sink
+	// IDBase offsets collection IDs so multi-cell runs have disjoint ID
+	// spaces.
+	IDBase trace.CollectionID
+	// DisableAutopilot turns vertical scaling off even for jobs marked
+	// as autoscaled (ablation support).
+	DisableAutopilot bool
+}
+
+// CellResult is the outcome of one simulated cell.
+type CellResult struct {
+	Profile *workload.CellProfile
+	Trace   *trace.MemTrace
+	Sched   scheduler.Stats
+	// AutopilotUpdates counts limit adjustments issued.
+	AutopilotUpdates int
+}
+
+// Run simulates one cell for opts.Horizon and returns its trace.
+func Run(p *workload.CellProfile, opts Options) *CellResult {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 24 * sim.Hour
+	}
+	root := rng.New(opts.Seed)
+	k := sim.NewKernel()
+
+	mem := trace.NewMemTrace(trace.Meta{
+		Era:      p.Era,
+		Cell:     p.Name,
+		Duration: opts.Horizon,
+		Machines: p.Machines,
+		Seed:     opts.Seed,
+	})
+	var sink trace.Sink = mem
+	if len(opts.ExtraSinks) > 0 {
+		all := append([]trace.Sink{mem}, opts.ExtraSinks...)
+		sink = trace.MultiSink(all)
+	}
+
+	// Build the cell and announce its machines.
+	cell := cluster.BuildCell(p.Name, p.Machines, p.Shapes, root.Split("machines"))
+	cell.Machines(func(m *cluster.Machine) {
+		sink.MachineEvent(trace.MachineEvent{
+			Time: 0, Machine: m.ID, Type: trace.MachineAdd,
+			Capacity: m.Capacity, Platform: m.Platform,
+		})
+	})
+
+	// Scheduler.
+	schedCfg := scheduler.Config{
+		Policy:                p.Policy,
+		CandidateSample:       p.CandidateSample,
+		Overcommit:            p.Overcommit,
+		ServiceTime:           dist.LogNormalFromMedian(p.SchedServiceMedian, p.SchedServiceSigma),
+		RetryBackoff:          30 * sim.Second,
+		EnablePreemption:      true,
+		PreemptionPriorityGap: 10,
+		EvictionRestartDelay:  15 * sim.Second,
+		FailRestartDelay:      10 * sim.Second,
+	}
+	schedCfg.ProdEvictionSLO = 0.08
+	if p.BatchQueue {
+		schedCfg.Batch = &scheduler.BatchConfig{
+			CheckPeriod:      20 * sim.Second,
+			AllocCeiling:     0.85,
+			MaxAdmitPerCheck: 8,
+		}
+	}
+	sched := scheduler.New(schedCfg, cell, k, sink, root.Split("scheduler"))
+
+	// Autopilot.
+	var ap *autopilot.Autopilot
+	if !opts.DisableAutopilot {
+		ap = autopilot.New(autopilot.DefaultConfig(p.Overcommit), cell, sink)
+	}
+
+	// Workload arrivals.
+	gen := workload.NewGenerator(p, cell.Capacity().CPU, opts.Horizon, root.Split("workload"), opts.IDBase+1)
+	var scheduleArrival func(now sim.Time)
+	scheduleArrival = func(now sim.Time) {
+		delta := gen.NextInterArrival(now)
+		next := now + delta
+		if next >= opts.Horizon {
+			return
+		}
+		k.At(next, func(t sim.Time) {
+			for _, j := range gen.Generate(t) {
+				sched.Submit(j)
+			}
+			scheduleArrival(t)
+		})
+	}
+	scheduleArrival(0)
+
+	// Machine maintenance (~1 OS upgrade per machine-month, §5.2).
+	maintSrc := root.Split("maintenance")
+	expected := p.MaintenanceRate * opts.Horizon.Hours() / (30 * 24)
+	for _, id := range cell.MachineIDs() {
+		id := id
+		n := dist.PoissonCount(maintSrc, expected)
+		for i := 0; i < n; i++ {
+			at := sim.Time(maintSrc.Float64() * float64(opts.Horizon))
+			k.At(at, func(sim.Time) { sched.EvictMachine(id) })
+		}
+	}
+
+	// Usage sampling every 5 minutes, plus partial-window records when
+	// tasks stop between samples (so sub-window mice show up in the
+	// usage table, as they do in the real trace).
+	sampler := newUsageSampler(p, cell, sched, ap, sink, root.Split("usage"), opts.Histograms)
+	sampler.k = k
+	sched.UnplaceHook = sampler.taskStopped
+	k.Every(sim.SampleWindow, sim.SampleWindow, opts.Horizon, func(now sim.Time) {
+		sampler.sample(now)
+	})
+
+	k.RunUntil(opts.Horizon)
+
+	res := &CellResult{Profile: p, Trace: mem, Sched: sched.Stats()}
+	if ap != nil {
+		res.AutopilotUpdates = ap.Updates()
+	}
+	return res
+}
+
+// usageSampler turns each running task's usage model into 5-minute usage
+// records, applies work-conserving CPU throttling and memory OOM pressure,
+// and feeds Autopilot.
+type usageSampler struct {
+	p          *workload.CellProfile
+	cell       *cluster.Cell
+	sched      *scheduler.Scheduler
+	ap         *autopilot.Autopilot
+	sink       trace.Sink
+	src        *rng.Source
+	k          *sim.Kernel
+	histograms bool
+	// prevTracked lets us Forget autopilot windows for tasks that
+	// stopped running between samples.
+	prevTracked map[trace.InstanceKey]bool
+	// partialCPU/partialMem accumulate the time-weighted usage already
+	// emitted for the current window by tasks that stopped mid-window,
+	// per machine. The tick throttle subtracts them so a machine's
+	// window total never exceeds its physical capacity.
+	partialCPU map[trace.MachineID]float64
+	partialMem map[trace.MachineID]float64
+}
+
+func newUsageSampler(p *workload.CellProfile, cell *cluster.Cell, sched *scheduler.Scheduler,
+	ap *autopilot.Autopilot, sink trace.Sink, src *rng.Source, histograms bool) *usageSampler {
+	return &usageSampler{
+		p: p, cell: cell, sched: sched, ap: ap, sink: sink, src: src,
+		histograms:  histograms,
+		prevTracked: make(map[trace.InstanceKey]bool),
+		partialCPU:  make(map[trace.MachineID]float64),
+		partialMem:  make(map[trace.MachineID]float64),
+	}
+}
+
+// sample emits one 5-minute window of usage records ending at now.
+func (u *usageSampler) sample(now sim.Time) {
+	type obs struct {
+		task *scheduler.Task
+		avg  trace.Resources
+		peak trace.Resources
+	}
+	perMachine := make(map[trace.MachineID][]*obs)
+
+	u.sched.RunningTasks(func(t *scheduler.Task) {
+		noiseC := math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
+		noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
+		avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
+		peakJitter := 1 + (t.PeakFact-1)*(0.7+0.6*u.src.Float64())
+		peak := avg.Scale(peakJitter)
+		perMachine[t.Machine] = append(perMachine[t.Machine], &obs{task: t, avg: avg, peak: peak})
+	})
+
+	// Deterministic machine order: randomness is consumed per record, so
+	// iteration order must not depend on map layout.
+	mids := make([]trace.MachineID, 0, len(perMachine))
+	for mid := range perMachine {
+		mids = append(mids, mid)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+
+	tracked := make(map[trace.InstanceKey]bool)
+	for _, mid := range mids {
+		list := perMachine[mid]
+		m := u.cell.Machine(mid)
+		if m == nil {
+			continue
+		}
+		// Work-conserving CPU: the machine cannot exceed its physical
+		// capacity; oversubscribed machines throttle everyone
+		// proportionally (§2). Capacity already consumed by tasks that
+		// stopped earlier in this window is reserved first.
+		capCPU := m.Capacity.CPU - u.partialCPU[mid]
+		capMem := m.Capacity.Mem - u.partialMem[mid]
+		if capCPU < 0 {
+			capCPU = 0
+		}
+		if capMem < 0 {
+			capMem = 0
+		}
+		var cpuSum, memSum float64
+		for _, o := range list {
+			cpuSum += o.avg.CPU
+			memSum += o.avg.Mem
+		}
+		if cpuSum > capCPU && cpuSum > 0 {
+			f := capCPU / cpuSum
+			for _, o := range list {
+				o.avg.CPU *= f
+				o.peak.CPU *= f
+			}
+		}
+		// Memory is a hard bound: pressure evicts the weakest residents
+		// (§5.2); the evicted tasks' usage vanishes with them.
+		if memSum > capMem {
+			for _, o := range list {
+				if r := m.Resident(o.task.Key); r != nil {
+					r.Usage = o.avg
+				}
+			}
+			u.sched.HandleMemoryPressure(mid, capMem)
+		}
+
+		for _, o := range list {
+			t := o.task
+			if t.State != scheduler.TaskRunning || t.Machine != mid {
+				continue // evicted by the pressure handler above
+			}
+			if r := m.Resident(t.Key); r != nil {
+				r.Usage = o.avg
+			}
+			rec := trace.UsageRecord{
+				Start:    now - sim.SampleWindow,
+				End:      now,
+				Key:      t.Key,
+				Machine:  mid,
+				Tier:     t.Job.Tier,
+				AvgUsage: o.avg,
+				MaxUsage: o.peak,
+				Limit:    t.Request,
+			}
+			if u.histograms {
+				rec.CPUHistogram = synthHistogram(o.avg.CPU, o.peak.CPU, t.Request.CPU, u.src)
+			}
+			u.sink.Usage(rec)
+			if u.ap != nil {
+				u.ap.Observe(now, t, o.peak)
+				tracked[t.Key] = true
+			}
+		}
+	}
+
+	if u.ap != nil {
+		for key := range u.prevTracked {
+			if !tracked[key] {
+				u.ap.Forget(key)
+			}
+		}
+		u.prevTracked = tracked
+	}
+
+	// A new window begins: release the partial-usage reservations.
+	clear(u.partialCPU)
+	clear(u.partialMem)
+}
+
+// taskStopped emits the partial usage record for a task leaving its
+// machine mid-window: the interval from the later of its run start and the
+// last sampling boundary, up to now.
+func (u *usageSampler) taskStopped(t *scheduler.Task, runStart sim.Time) {
+	now := u.k.Now()
+	boundary := now - now%sim.SampleWindow
+	start := boundary
+	if runStart > start {
+		start = runStart
+	}
+	if start >= now || t.Machine == 0 {
+		return
+	}
+	m := u.cell.Machine(t.Machine)
+	if m == nil {
+		return
+	}
+	noiseC := math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
+	noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
+	avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
+	// The machine's window capacity not already claimed by earlier
+	// partial records bounds what this record may report.
+	frac := float64(now-start) / float64(sim.SampleWindow)
+	availCPU := m.Capacity.CPU - u.partialCPU[t.Machine]
+	availMem := m.Capacity.Mem - u.partialMem[t.Machine]
+	if avg.CPU*frac > availCPU {
+		avg.CPU = math.Max(0, availCPU/frac)
+	}
+	if avg.Mem*frac > availMem {
+		avg.Mem = math.Max(0, availMem/frac)
+	}
+	u.partialCPU[t.Machine] += avg.CPU * frac
+	u.partialMem[t.Machine] += avg.Mem * frac
+	peakJitter := 1 + (t.PeakFact-1)*(0.7+0.6*u.src.Float64())
+	peak := avg.Scale(peakJitter)
+	rec := trace.UsageRecord{
+		Start:    start,
+		End:      now,
+		Key:      t.Key,
+		Machine:  t.Machine,
+		Tier:     t.Job.Tier,
+		AvgUsage: avg,
+		MaxUsage: peak,
+		Limit:    t.Request,
+	}
+	if u.histograms {
+		rec.CPUHistogram = synthHistogram(avg.CPU, peak.CPU, t.Request.CPU, u.src)
+	}
+	u.sink.Usage(rec)
+}
+
+// synthHistogram builds the trace's 21-bucket CPU utilization histogram
+// for one window from the window's average and peak, by sampling a
+// plausible within-window trajectory.
+func synthHistogram(avg, peak, limit float64, src *rng.Source) *stats.UsageHistogram {
+	h := &stats.UsageHistogram{}
+	if limit <= 0 {
+		limit = 1e-9
+	}
+	// 30 pseudo-samples (≈10-second resolution): uniform between trough
+	// and peak, centered on the average.
+	trough := 2*avg - peak
+	if trough < 0 {
+		trough = 0
+	}
+	for i := 0; i < 30; i++ {
+		v := trough + (peak-trough)*src.Float64()
+		h.Add(v / limit)
+	}
+	return h
+}

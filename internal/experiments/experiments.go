@@ -1,0 +1,436 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from freshly simulated traces: Table 1, Figures 1–14 and
+// Table 2, plus the §5.1 and §5.2 statistics. It is the engine behind
+// cmd/borgexperiments and the repository's benchmark suite, and the source
+// of EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Scale sets the simulated size of the reproduction. The paper's cells
+// have 12,000 machines for a month; everything here is calibrated to scale
+// linearly, and rates are reported both raw and normalized back to paper
+// scale.
+type Scale struct {
+	Name         string
+	Machines2011 int
+	Machines2019 int // per cell, 8 cells
+	Horizon      sim.Time
+	Warmup       sim.Time // excluded from time-averaged figures
+	Seed         uint64
+}
+
+// SmallScale is quick enough for tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{Name: "small", Machines2011: 120, Machines2019: 100,
+		Horizon: 12 * sim.Hour, Warmup: 4 * sim.Hour, Seed: 1}
+}
+
+// DefaultScale is the scale EXPERIMENTS.md reports.
+func DefaultScale() Scale {
+	return Scale{Name: "default", Machines2011: 300, Machines2019: 250,
+		Horizon: 24 * sim.Hour, Warmup: 8 * sim.Hour, Seed: 1}
+}
+
+// LargeScale stresses the simulator further (slower, closer asymptotics).
+func LargeScale() Scale {
+	return Scale{Name: "large", Machines2011: 600, Machines2019: 400,
+		Horizon: 48 * sim.Hour, Warmup: 16 * sim.Hour, Seed: 1}
+}
+
+// Suite holds the simulated traces for one scale.
+type Suite struct {
+	Scale Scale
+	T2011 *trace.MemTrace
+	T2019 []*trace.MemTrace // cells a–h in order
+	Stats []core.CellResult
+}
+
+// RunSuite simulates the 2011 cell and the eight 2019 cells.
+func RunSuite(sc Scale) *Suite {
+	s := &Suite{Scale: sc}
+	r11 := core.Run(workload.Profile2011(sc.Machines2011), core.Options{
+		Horizon: sc.Horizon, Seed: sc.Seed,
+	})
+	s.T2011 = r11.Trace
+	s.Stats = append(s.Stats, *r11)
+	for i, cell := range workload.Cells2019() {
+		r := core.Run(workload.Profile2019(cell, sc.Machines2019), core.Options{
+			Horizon: sc.Horizon,
+			Seed:    sc.Seed + uint64(i) + 1,
+			IDBase:  trace.CollectionID(i+1) << 32,
+		})
+		s.T2019 = append(s.T2019, r.Trace)
+		s.Stats = append(s.Stats, *r)
+	}
+	return s
+}
+
+// RateNormalization returns the factor converting this suite's per-cell
+// 2019 rates to paper scale (12,000 machines).
+func (s *Suite) RateNormalization2019() float64 {
+	return float64(workload.ReferenceMachines) / float64(s.Scale.Machines2019)
+}
+
+// RateNormalization2011 is the 2011 counterpart.
+func (s *Suite) RateNormalization2011() float64 {
+	return float64(workload.ReferenceMachines) / float64(s.Scale.Machines2011)
+}
+
+// WriteReport emits every artifact to w.
+func (s *Suite) WriteReport(w io.Writer) error {
+	steps := []func(io.Writer) error{
+		s.WriteTable1,
+		s.WriteFigure1,
+		s.WriteFigures2and4,
+		s.WriteFigures3and5,
+		s.WriteFigure6,
+		s.WriteFigure7,
+		s.WriteAllocSetStats,
+		s.WriteTerminationStats,
+		s.WriteFigure8,
+		s.WriteFigure9,
+		s.WriteFigure10,
+		s.WriteFigure11,
+		s.WriteTable2,
+		s.WriteFigure12,
+		s.WriteFigure13,
+		s.WriteFigure14,
+	}
+	for _, step := range steps {
+		if err := step(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable1 emits the trace-comparison inventory.
+func (s *Suite) WriteTable1(w io.Writer) error {
+	fmt.Fprintf(w, "== Table 1: trace comparison (scale %q) ==\n", s.Scale.Name)
+	return report.Table1(w, analysis.Table1(s.T2011, s.T2019))
+}
+
+// WriteFigure1 emits machine shape populations.
+func (s *Suite) WriteFigure1(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 1: machine shapes (2019, all cells) ==")
+	counts := make(map[trace.Resources]int)
+	for _, tr := range s.T2019 {
+		for _, p := range analysis.MachineShapes(tr) {
+			counts[trace.Resources{CPU: p.CPU, Mem: p.Mem}] += p.Count
+		}
+	}
+	var rows [][]string
+	for r, n := range counts {
+		rows = append(rows, []string{report.F(r.CPU), report.F(r.Mem), fmt.Sprint(n)})
+	}
+	sortRows(rows)
+	return report.Table(w, []string{"NCU", "NMU", "machines"}, rows)
+}
+
+// WriteFigures2and4 emits the hourly usage and allocation series.
+func (s *Suite) WriteFigures2and4(w io.Writer) error {
+	var use19, alloc19 []analysis.TierSeries
+	for _, tr := range s.T2019 {
+		use19 = append(use19, analysis.UsageSeries(tr))
+		alloc19 = append(alloc19, analysis.AllocationSeries(tr))
+	}
+	avgUse := analysis.AverageSeries(use19)
+	avgAlloc := analysis.AverageSeries(alloc19)
+	u11 := analysis.UsageSeries(s.T2011)
+	a11 := analysis.AllocationSeries(s.T2011)
+
+	if err := report.TierSeriesTable(w, "== Figure 2a: 2011 CPU usage (fraction of capacity/hour) ==", u11, "cpu"); err != nil {
+		return err
+	}
+	if err := report.TierSeriesTable(w, "== Figure 2b: 2019 CPU usage (avg of 8 cells) ==", avgUse, "cpu"); err != nil {
+		return err
+	}
+	if err := report.TierSeriesTable(w, "== Figure 2c: 2011 memory usage ==", u11, "mem"); err != nil {
+		return err
+	}
+	if err := report.TierSeriesTable(w, "== Figure 2d: 2019 memory usage (avg of 8 cells) ==", avgUse, "mem"); err != nil {
+		return err
+	}
+	if err := report.TierSeriesTable(w, "== Figure 4a: 2011 CPU allocation ==", a11, "cpu"); err != nil {
+		return err
+	}
+	if err := report.TierSeriesTable(w, "== Figure 4b: 2019 CPU allocation (avg of 8 cells) ==", avgAlloc, "cpu"); err != nil {
+		return err
+	}
+	if err := report.TierSeriesTable(w, "== Figure 4c: 2011 memory allocation ==", a11, "mem"); err != nil {
+		return err
+	}
+	return report.TierSeriesTable(w, "== Figure 4d: 2019 memory allocation (avg of 8 cells) ==", avgAlloc, "mem")
+}
+
+// WriteFigures3and5 emits the per-cell tier averages.
+func (s *Suite) WriteFigures3and5(w io.Writer) error {
+	var use, alloc []analysis.TierAverages
+	use = append(use, analysis.AverageUsageByTier(s.T2011, s.Scale.Warmup))
+	alloc = append(alloc, analysis.AverageAllocationByTier(s.T2011, s.Scale.Warmup))
+	for _, tr := range s.T2019 {
+		use = append(use, analysis.AverageUsageByTier(tr, s.Scale.Warmup))
+		alloc = append(alloc, analysis.AverageAllocationByTier(tr, s.Scale.Warmup))
+	}
+	if err := report.TierAveragesTable(w, "== Figure 3 (CPU): average usage by tier and cell ==", use, "cpu"); err != nil {
+		return err
+	}
+	if err := report.TierAveragesTable(w, "== Figure 3 (mem) ==", use, "mem"); err != nil {
+		return err
+	}
+	if err := report.TierAveragesTable(w, "== Figure 5 (CPU): average allocation by tier and cell ==", alloc, "cpu"); err != nil {
+		return err
+	}
+	return report.TierAveragesTable(w, "== Figure 5 (mem) ==", alloc, "mem")
+}
+
+// WriteFigure6 emits machine-utilization CCDF quantiles per cell at the
+// mid-trace snapshot.
+func (s *Suite) WriteFigure6(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 6: machine utilization at mid-trace (upper quantiles) ==")
+	at := s.Scale.Horizon / 2
+	probs := []float64{0.9, 0.5, 0.1}
+	headers := []string{"cell/resource", "P>0.9", "median", "P>0.1"}
+	var rows [][]string
+	cpu11, mem11 := analysis.MachineUtilization(s.T2011, at)
+	rows = append(rows, report.CCDFQuantiles("2011 cpu", cpu11, probs))
+	rows = append(rows, report.CCDFQuantiles("2011 mem", mem11, probs))
+	for i, tr := range s.T2019 {
+		cpu, mem := analysis.MachineUtilization(tr, at)
+		cell := workload.Cells2019()[i]
+		rows = append(rows, report.CCDFQuantiles(cell+" cpu", cpu, probs))
+		rows = append(rows, report.CCDFQuantiles(cell+" mem", mem, probs))
+	}
+	return report.Table(w, headers, rows)
+}
+
+// WriteFigure7 emits cell g's transition counts, as the paper does.
+func (s *Suite) WriteFigure7(w io.Writer) error {
+	gIdx := 6 // cell g
+	return report.Transitions(w, "== Figure 7: state transitions (cell g) ==",
+		analysis.Transitions(s.T2019[gIdx]), 20)
+}
+
+// WriteAllocSetStats emits §5.1's numbers.
+func (s *Suite) WriteAllocSetStats(w io.Writer) error {
+	st := analysis.AllocSets(s.T2019)
+	fmt.Fprintln(w, "== §5.1: alloc sets (2019, all cells) ==")
+	rows := [][]string{
+		{"alloc sets / collections", report.Pct(st.AllocSetShare), "2%"},
+		{"alloc share of CPU allocation", report.Pct(st.CPUAllocShare), "20%"},
+		{"alloc share of RAM allocation", report.Pct(st.MemAllocShare), "18%"},
+		{"jobs running in allocs", report.Pct(st.JobsInAllocShare), "15%"},
+		{"prod share of in-alloc jobs", report.Pct(st.ProdShareInAlloc), "95%"},
+		{"mem utilization inside allocs", report.Pct(st.MemUtilInAlloc), "73%"},
+		{"mem utilization outside", report.Pct(st.MemUtilOutside), "41%"},
+	}
+	return report.Table(w, []string{"metric", "measured", "paper"}, rows)
+}
+
+// WriteTerminationStats emits §5.2's numbers.
+func (s *Suite) WriteTerminationStats(w io.Writer) error {
+	st := analysis.Terminations(s.T2019)
+	fmt.Fprintln(w, "== §5.2: terminations (2019, all cells) ==")
+	rows := [][]string{
+		{"collections with any eviction", report.Pct(st.CollectionsWithEviction), "3.2%"},
+		{"non-prod share of evicted", report.Pct(st.NonProdShareOfEvicted), "96.6%"},
+		{"prod collections evicted", report.Pct(st.ProdEvictedShare), "<0.2%"},
+		{"single-eviction share (prod)", report.Pct(st.SingleEvictionShare), "52%"},
+		{"kill rate with parent", report.Pct(st.KillRateWithParent), "87%"},
+		{"kill rate without parent", report.Pct(st.KillRateWithoutParent), "41%"},
+	}
+	return report.Table(w, []string{"metric", "measured", "paper"}, rows)
+}
+
+// WriteFigure8 emits job-submission-rate distributions.
+func (s *Suite) WriteFigure8(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 8: job submission rate (jobs/hour, normalized to 12k machines) ==")
+	r19 := analysis.Rates(s.T2019)
+	r11 := analysis.Rates([]*trace.MemTrace{s.T2011})
+	n19 := scaleAll(r19.JobsPerHour, s.RateNormalization2019())
+	n11 := scaleAll(r11.JobsPerHour, s.RateNormalization2011())
+	rows := [][]string{
+		statRow("2011", n11),
+		statRow("2019 per-cell", n19),
+	}
+	med19 := stats.Quantile(n19, 0.5)
+	med11 := stats.Quantile(n11, 0.5)
+	rows = append(rows, []string{"median ratio 2019/2011", report.F(med19 / med11), "", "", "paper: 3.7x"})
+	return report.Table(w, []string{"series", "median", "mean", "p90", "note"}, rows)
+}
+
+// WriteFigure9 emits task-submission-rate distributions and the
+// resubmission ratio.
+func (s *Suite) WriteFigure9(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 9: task submission rate (tasks/hour, normalized) ==")
+	r19 := analysis.Rates(s.T2019)
+	r11 := analysis.Rates([]*trace.MemTrace{s.T2011})
+	rows := [][]string{
+		statRow("2011 new tasks", scaleAll(r11.NewTasksPerHour, s.RateNormalization2011())),
+		statRow("2011 all tasks", scaleAll(r11.AllTasksPerHour, s.RateNormalization2011())),
+		statRow("2019 new tasks", scaleAll(r19.NewTasksPerHour, s.RateNormalization2019())),
+		statRow("2019 all tasks", scaleAll(r19.AllTasksPerHour, s.RateNormalization2019())),
+	}
+	resub19 := stats.Quantile(r19.AllTasksPerHour, 0.5)/stats.Quantile(r19.NewTasksPerHour, 0.5) - 1
+	resub11 := stats.Quantile(r11.AllTasksPerHour, 0.5)/stats.Quantile(r11.NewTasksPerHour, 0.5) - 1
+	rows = append(rows, []string{"resubmit:new 2011", report.F(resub11), "", "", "paper: 0.66"})
+	rows = append(rows, []string{"resubmit:new 2019", report.F(resub19), "", "", "paper: 2.26"})
+	return report.Table(w, []string{"series", "median", "mean", "p90", "note"}, rows)
+}
+
+// WriteFigure10 emits scheduling-delay distributions by era and tier.
+func (s *Suite) WriteFigure10(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 10: job scheduling delay (seconds, ready -> first task running) ==")
+	all19, byTier19 := analysis.SchedulingDelays(s.T2019)
+	all11, byTier11 := analysis.SchedulingDelays([]*trace.MemTrace{s.T2011})
+	rows := [][]string{
+		delayRow("2011 all", all11),
+		delayRow("2019 all", all19),
+	}
+	for _, tier := range trace.Tiers() {
+		if xs := byTier11[tier]; len(xs) > 0 {
+			rows = append(rows, delayRow("2011 "+tier.String(), xs))
+		}
+	}
+	for _, tier := range trace.Tiers() {
+		if xs := byTier19[tier]; len(xs) > 0 {
+			rows = append(rows, delayRow("2019 "+tier.String(), xs))
+		}
+	}
+	return report.Table(w, []string{"series", "median", "p90", "p99", "n"}, rows)
+}
+
+// WriteFigure11 emits tasks-per-job quantiles by tier.
+func (s *Suite) WriteFigure11(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 11: tasks per job by tier (2019) ==")
+	tpj := analysis.TasksPerJob(s.T2019)
+	rows := make([][]string, 0, len(tpj))
+	for _, tier := range trace.Tiers() {
+		xs := tpj[tier]
+		if len(xs) == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			tier.String(),
+			report.F(stats.Quantile(xs, 0.80)),
+			report.F(stats.Quantile(xs, 0.95)),
+			report.F(stats.Quantile(xs, 0.99)),
+			fmt.Sprint(len(xs)),
+		})
+	}
+	rows = append(rows, []string{"paper 95%ile", "beb 498", "mid 67", "free 21 / prod 3", ""})
+	return report.Table(w, []string{"tier", "p80", "p95", "p99", "jobs"}, rows)
+}
+
+// WriteTable2 emits the resource-hour distribution statistics.
+func (s *Suite) WriteTable2(w io.Writer) error {
+	i19 := analysis.JobUsageIntegrals(s.T2019)
+	i11 := analysis.JobUsageIntegrals([]*trace.MemTrace{s.T2011})
+	if err := report.Table2(w, "== Table 2 (2011): per-job resource-hours ==",
+		analysis.ComputeTable2Column(i11.CPUHours), analysis.ComputeTable2Column(i11.MemHours)); err != nil {
+		return err
+	}
+	return report.Table2(w, "== Table 2 (2019): per-job resource-hours ==",
+		analysis.ComputeTable2Column(i19.CPUHours), analysis.ComputeTable2Column(i19.MemHours))
+}
+
+// WriteFigure12 emits the log-log CCDF of per-job resource-hours.
+func (s *Suite) WriteFigure12(w io.Writer) error {
+	i19 := analysis.JobUsageIntegrals(s.T2019)
+	i11 := analysis.JobUsageIntegrals([]*trace.MemTrace{s.T2011})
+	grid := analysis.LogGrid(1e-5, 1e3, 1)
+	return report.CCDFSeries(w, "== Figure 12: CCDF of resource-usage-hours per job ==", grid,
+		map[string][]float64{
+			"2019 NCU-hours": i19.CPUHours,
+			"2019 NMU-hours": i19.MemHours,
+			"2011 NCU-hours": i11.CPUHours,
+			"2011 NMU-hours": i11.MemHours,
+		})
+}
+
+// WriteFigure13 emits the CPU/memory consumption correlation.
+func (s *Suite) WriteFigure13(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 13: median NMU-hours per 1-NCU-hour bucket (2019) ==")
+	ints := analysis.JobUsageIntegrals(s.T2019)
+	points, pearson := analysis.CPUMemCorrelation(ints, 100)
+	rows := make([][]string, 0, len(points)+1)
+	for _, p := range points {
+		rows = append(rows, []string{report.F(p.NCUHours), report.F(p.MedianNMU), fmt.Sprint(p.Jobs)})
+	}
+	rows = append(rows, []string{"Pearson r", report.F(pearson), "paper: 0.97"})
+	return report.Table(w, []string{"NCU-hours bucket", "median NMU-hours", "jobs"}, rows)
+}
+
+// WriteFigure14 emits the peak-slack CCDF by vertical-scaling strategy.
+func (s *Suite) WriteFigure14(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 14: peak NCU slack by autoscaling strategy (2019) ==")
+	slack := analysis.SlackSamples(s.T2019)
+	rows := make([][]string, 0, 3)
+	for _, mode := range []trace.VerticalScaling{trace.ScalingFull, trace.ScalingConstrained, trace.ScalingNone} {
+		xs := slack[mode]
+		if len(xs) == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			mode.String(),
+			report.F(stats.Quantile(xs, 0.25)),
+			report.F(stats.Quantile(xs, 0.5)),
+			report.F(stats.Quantile(xs, 0.75)),
+			fmt.Sprint(len(xs)),
+		})
+	}
+	rows = append(rows, []string{"paper", "full autoscaling cuts slack by >25pp for most jobs", "", "", ""})
+	return report.Table(w, []string{"strategy", "slack p25 (%)", "median (%)", "p75 (%)", "samples"}, rows)
+}
+
+// --- helpers ---
+
+func scaleAll(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+func statRow(name string, xs []float64) []string {
+	sum := stats.Summarize(xs)
+	return []string{name, report.F(sum.Median), report.F(sum.Mean), report.F(sum.P90), ""}
+}
+
+func delayRow(name string, xs []float64) []string {
+	sum := stats.Summarize(xs)
+	return []string{name, report.F(sum.Median), report.F(sum.P90), report.F(sum.P99), fmt.Sprint(sum.N)}
+}
+
+func sortRows(rows [][]string) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && less(rows[j], rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func less(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

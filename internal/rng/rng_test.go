@@ -1,0 +1,254 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs in 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("scheduler")
+	c2 := root.Split("workload")
+	c1b := New(7).Split("scheduler")
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c1b.Uint64() {
+			t.Fatal("Split is not deterministic for same label")
+		}
+	}
+	// Different labels must give different streams.
+	c1 = New(7).Split("scheduler")
+	diff := false
+	for i := 0; i < 10; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("Split streams for different labels are identical")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split("x")
+	_ = a.SplitN(4)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(11)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < n/7-1500 || c > n/7+1500 {
+			t.Fatalf("Intn(7) biased: value %d appeared %d times (expected ~%d)", v, c, n/7)
+		}
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		if v := s.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) returned %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(17)
+	const n = 300000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(19)
+	for n := 0; n < 50; n++ {
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(29)
+	if s.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate %v", frac)
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestUint64nPropertyBound(t *testing.T) {
+	s := New(31)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: New(seed) produces identical prefixes for identical seeds.
+func TestSeedDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64OpenNeverZeroOrOne(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.Float64()
+	}
+	_ = sink
+}

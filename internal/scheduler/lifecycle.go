@@ -1,0 +1,490 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Submit enters a job (or alloc set) into the system at the current
+// simulation time, emitting SUBMIT rows and routing it either to the batch
+// queue or straight to the ready state.
+func (s *Scheduler) Submit(j *Job) {
+	now := s.k.Now()
+	if _, dup := s.jobs[j.ID]; dup {
+		panic(fmt.Sprintf("scheduler: duplicate job %d", j.ID))
+	}
+	if len(j.Tasks) == 0 {
+		panic(fmt.Sprintf("scheduler: job %d has no tasks", j.ID))
+	}
+	s.jobs[j.ID] = j
+	s.stats.JobsSubmitted++
+	j.State = JobSubmitted
+	j.SubmitTime = now
+	j.FinalType = trace.EventSubmit
+	j.liveTasks = len(j.Tasks)
+	for _, t := range j.Tasks {
+		t.remaining = t.Duration
+		t.planSegments()
+	}
+
+	if j.Parent != 0 {
+		s.children[j.Parent] = append(s.children[j.Parent], j)
+	}
+	if j.Type == trace.CollectionJob && j.AllocSet != 0 {
+		s.allocJobs[j.AllocSet] = append(s.allocJobs[j.AllocSet], j)
+	}
+
+	s.emitCollection(j, trace.EventSubmit)
+	for _, t := range j.Tasks {
+		s.emitInstance(t, trace.EventSubmit, now)
+		t.submitted = true
+	}
+
+	// A child whose parent already terminated is killed on arrival —
+	// the parent-exit cleanup of §5.2 applies to late submissions too.
+	if j.Parent != 0 {
+		if parent := s.jobs[j.Parent]; parent == nil || parent.State == JobDone {
+			s.KillJob(j, trace.EventKill)
+			return
+		}
+	}
+
+	// Schedule the scripted user kill, if any. Parent-driven kills happen
+	// via propagation instead.
+	if j.KillAfter > 0 {
+		j.killEvent = s.k.After(j.KillAfter, func(sim.Time) {
+			s.KillJob(j, trace.EventKill)
+		})
+	}
+
+	// Batch-tier jobs go through the batch scheduler's queue (§3); all
+	// others are immediately ready.
+	if s.cfg.Batch != nil && j.Scheduler == trace.SchedulerBatch {
+		j.State = JobQueued
+		s.emitCollection(j, trace.EventQueue)
+		s.batchQueue = append(s.batchQueue, j)
+		return
+	}
+	s.enableJob(j)
+}
+
+// enableJob marks a job ready and enqueues its tasks for placement.
+func (s *Scheduler) enableJob(j *Job) {
+	j.State = JobReady
+	j.ReadyTime = s.k.Now()
+	s.emitCollection(j, trace.EventEnable)
+	for _, t := range j.Tasks {
+		s.enqueue(t)
+	}
+}
+
+// batchAdmissionCheck admits queued batch jobs while the best-effort batch
+// tier's allocation is below the configured ceiling.
+func (s *Scheduler) batchAdmissionCheck() {
+	if len(s.batchQueue) == 0 {
+		return
+	}
+	cfg := s.cfg.Batch
+	admitted := 0
+	for len(s.batchQueue) > 0 && admitted < cfg.MaxAdmitPerCheck {
+		if s.bebAllocatedFraction() >= cfg.AllocCeiling {
+			break
+		}
+		j := s.batchQueue[0]
+		s.batchQueue = s.batchQueue[1:]
+		if j.State == JobDone {
+			continue // killed while queued
+		}
+		admitted++
+		s.stats.BatchAdmitted++
+		s.enableJob(j)
+	}
+}
+
+// bebAllocatedFraction returns the best-effort batch tier's current share
+// of cell CPU capacity, counting both running allocations and tasks already
+// waiting for placement.
+func (s *Scheduler) bebAllocatedFraction() float64 {
+	capacity := s.cell.Capacity().CPU
+	if capacity <= 0 {
+		return 1
+	}
+	alloc := 0.0
+	for _, j := range s.jobs {
+		if j.Tier != trace.TierBestEffortBatch || j.State == JobDone || j.State == JobQueued {
+			continue
+		}
+		for _, t := range j.Tasks {
+			if t.State == TaskRunning || t.State == TaskPending {
+				alloc += t.Request.CPU
+			}
+		}
+	}
+	return alloc / capacity
+}
+
+// planSegments splits the task's remaining duration into equal segments,
+// one per scripted crash-restart plus the final run, preserving the total
+// resource integral while generating FAIL churn (Figure 9).
+func (t *Task) planSegments() {
+	n := sim.Time(t.Restarts + 1)
+	t.segment = t.remaining / n
+	if t.segment <= 0 {
+		t.segment = 1
+	}
+}
+
+// startRunning transitions a placed task to running and schedules the end
+// of its current segment.
+func (s *Scheduler) startRunning(t *Task, m trace.MachineID) {
+	now := s.k.Now()
+	t.State = TaskRunning
+	t.Machine = m
+	t.runStart = now
+	s.running[t.Key] = t
+	if t.Job.FirstRun < 0 {
+		t.Job.FirstRun = now
+	}
+	s.emitInstance(t, trace.EventSchedule, now)
+
+	segment := t.segment
+	if segment > t.remaining {
+		segment = t.remaining
+	}
+	if segment <= 0 {
+		segment = 1
+	}
+	t.endEvent = s.k.After(segment, func(sim.Time) {
+		s.segmentEnd(t)
+	})
+}
+
+// segmentEnd handles a task reaching the end of a running segment: either
+// a scripted crash-restart or final termination.
+func (s *Scheduler) segmentEnd(t *Task) {
+	now := s.k.Now()
+	t.endEvent = nil
+	ran := now - t.runStart
+	t.remaining -= ran
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	s.unplace(t, !(t.Restarts > 0 && t.remaining > 0))
+
+	if t.Restarts > 0 && t.remaining > 0 {
+		// Scripted crash: FAIL, then come back after the restart delay.
+		t.Restarts--
+		s.stats.TasksFailedRestarts++
+		s.emitInstance(t, trace.EventFail, now)
+		s.requeueAfter(t, s.cfg.FailRestartDelay)
+		return
+	}
+
+	// Final termination of this task, with the job's scripted outcome.
+	final := trace.EventFinish
+	if t.Job.Outcome == OutcomeFail {
+		final = trace.EventFail
+	}
+	s.finishTask(t, final)
+}
+
+// finishTask marks a task dead and, if it is the job's last live task,
+// terminates the job.
+func (s *Scheduler) finishTask(t *Task, final trace.EventType) {
+	if t.State == TaskDead {
+		return
+	}
+	t.State = TaskDead
+	s.emitInstance(t, final, s.k.Now())
+	t.Job.liveTasks--
+	if t.Job.liveTasks <= 0 && t.Job.State != JobDone {
+		s.terminateJob(t.Job, final)
+	}
+}
+
+// terminateJob emits the job's terminal event and propagates kills to
+// children (§5.2: a child job is killed automatically when its parent
+// terminates).
+func (s *Scheduler) terminateJob(j *Job, final trace.EventType) {
+	if j.State == JobDone {
+		return
+	}
+	j.State = JobDone
+	j.FinalType = final
+	if j.killEvent != nil {
+		s.k.Cancel(j.killEvent)
+		j.killEvent = nil
+	}
+	s.emitCollection(j, final)
+
+	// Alloc set teardown: kill the jobs still running inside it.
+	if j.Type == trace.CollectionAllocSet {
+		s.teardownAllocSet(j)
+	}
+
+	for _, child := range s.children[j.ID] {
+		if child.State != JobDone {
+			s.KillJob(child, trace.EventKill)
+		}
+	}
+	delete(s.children, j.ID)
+}
+
+// KillJob cancels a job: running tasks are stopped, pending tasks are
+// withdrawn, and the collection-level terminal event is emitted.
+func (s *Scheduler) KillJob(j *Job, final trace.EventType) {
+	if j.State == JobDone {
+		return
+	}
+	now := s.k.Now()
+	for _, t := range j.Tasks {
+		switch t.State {
+		case TaskRunning:
+			if t.endEvent != nil {
+				s.k.Cancel(t.endEvent)
+				t.endEvent = nil
+			}
+			s.unplace(t, true)
+			t.State = TaskDead
+			s.emitInstance(t, final, now)
+		case TaskPending, TaskWaiting:
+			if t.retryEvent != nil {
+				s.k.Cancel(t.retryEvent)
+				t.retryEvent = nil
+			}
+			t.State = TaskDead
+			s.emitInstance(t, final, now)
+		}
+	}
+	j.liveTasks = 0
+	s.terminateJob(j, final)
+}
+
+// unplace removes a running task from its machine (and alloc instance),
+// leaving its state untouched; callers decide what happens next. terminal
+// says whether the task is ending for good (vs. being evicted): a
+// terminally de-scheduled alloc instance kills its inner jobs, an evicted
+// one merely displaces them.
+func (s *Scheduler) unplace(t *Task, terminal bool) {
+	if t.Machine == 0 {
+		return
+	}
+	if s.UnplaceHook != nil {
+		s.UnplaceHook(t, t.runStart)
+	}
+	delete(s.running, t.Key)
+	// A de-scheduled alloc instance takes its reservation with it.
+	if t.Job.Type == trace.CollectionAllocSet {
+		s.removeAllocInstance(t.Key, terminal)
+	}
+	if t.AllocInstance.Collection != 0 {
+		if ai := s.findAllocInstance(t.AllocInstance); ai != nil {
+			ai.Used = ai.Used.Sub(t.Request)
+			delete(ai.tasks, t.Key)
+		}
+		t.AllocInstance = trace.InstanceKey{}
+	}
+	if s.cell.Machine(t.Machine) != nil && s.cell.Machine(t.Machine).Resident(t.Key) != nil {
+		s.cell.Remove(t.Machine, t.Key)
+	}
+	t.Machine = 0
+}
+
+// Evict de-schedules a running task for an infrastructure reason (§5.2:
+// machine failure, OS upgrade, preemption, or overcommit pressure) and
+// requeues it for rescheduling after the eviction restart delay.
+func (s *Scheduler) Evict(t *Task) {
+	if t.State != TaskRunning {
+		return
+	}
+	now := s.k.Now()
+	if t.endEvent != nil {
+		s.k.Cancel(t.endEvent)
+		t.endEvent = nil
+	}
+	ran := now - t.runStart
+	t.remaining -= ran
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	s.unplace(t, false)
+	t.Evictions++
+	s.emitInstance(t, trace.EventEvict, now)
+
+	if t.remaining == 0 {
+		// Evicted at the very end of its run; treat as completed work.
+		final := trace.EventFinish
+		if t.Job.Outcome == OutcomeFail {
+			final = trace.EventFail
+		}
+		s.finishTask(t, final)
+		return
+	}
+	s.requeueAfter(t, s.cfg.EvictionRestartDelay)
+}
+
+// requeueAfter re-queues a de-scheduled task: the trace-visible re-SUBMIT
+// happens immediately (the instance is pending again, as in the real
+// trace), while actual placement eligibility is delayed.
+func (s *Scheduler) requeueAfter(t *Task, delay sim.Time) {
+	t.State = TaskWaiting
+	t.Reschedules++
+	s.emitInstance(t, trace.EventSubmit, s.k.Now())
+	t.retryEvent = s.k.After(delay, func(sim.Time) {
+		t.retryEvent = nil
+		if t.Job.State == JobDone || t.State != TaskWaiting {
+			return
+		}
+		s.enqueue(t)
+	})
+}
+
+// EvictMachine evicts residents of a machine for maintenance (an OS
+// upgrade, about one per machine-month, §5.2). Production-tier residents
+// are usually spared: Borg's eviction-rate SLOs protect them (migrated
+// gracefully, which the trace does not record as an EVICT).
+func (s *Scheduler) EvictMachine(id trace.MachineID) {
+	m := s.cell.Machine(id)
+	if m == nil {
+		return
+	}
+	s.stats.MachineEvictions++
+	for _, r := range m.Residents() {
+		if r.Tier == trace.TierProduction && !s.src.Bool(s.cfg.ProdEvictionSLO) {
+			continue
+		}
+		if t := s.taskByKey(r.Key); t != nil {
+			s.Evict(t)
+		}
+	}
+}
+
+// HandleMemoryPressure evicts the lowest-priority residents of a machine
+// until summed memory usage fits under limitMem (§5.2: "the machine was
+// over-committed and Borg had to kill one or more instances"). Pass the
+// machine's memory capacity, less any already-committed window usage.
+func (s *Scheduler) HandleMemoryPressure(id trace.MachineID, limitMem float64) int {
+	m := s.cell.Machine(id)
+	if m == nil {
+		return 0
+	}
+	evicted := 0
+	for m.UsageTotal().Mem > limitMem+1e-9 {
+		victim := pickOOMVictim(m.Residents())
+		if victim == nil {
+			break
+		}
+		t := s.taskByKey(victim.Key)
+		if t == nil {
+			break
+		}
+		if victim.Limit.Mem > 0 && victim.Usage.Mem > victim.Limit.Mem {
+			// Over its own limit: the task FAILs (§5.2: "trying to use
+			// more resources than it had requested"), rather than being
+			// evicted by the infrastructure.
+			s.failOverLimit(t)
+			s.stats.OOMKills++
+		} else {
+			s.Evict(t)
+			s.stats.OOMEvictions++
+		}
+		evicted++
+	}
+	return evicted
+}
+
+// failOverLimit crashes a task that exceeded its own memory limit. The
+// first failure restarts it (a crashloop the trace is full of); repeat
+// offenders die for good — their memory demand simply does not fit the
+// request, and Borg will not reschedule them forever.
+func (s *Scheduler) failOverLimit(t *Task) {
+	if t.State != TaskRunning {
+		return
+	}
+	now := s.k.Now()
+	if t.endEvent != nil {
+		s.k.Cancel(t.endEvent)
+		t.endEvent = nil
+	}
+	ran := now - t.runStart
+	t.remaining -= ran
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	t.oomFails++
+	if t.oomFails >= 2 || t.remaining == 0 {
+		s.unplace(t, true)
+		s.finishTask(t, trace.EventFail)
+		return
+	}
+	s.unplace(t, false)
+	s.emitInstance(t, trace.EventFail, now)
+	s.requeueAfter(t, s.cfg.FailRestartDelay)
+}
+
+// pickOOMVictim chooses which resident dies under memory pressure:
+// first a non-production resident using more memory than its limit (the
+// culprit), then the weakest non-production resident, and only as a last
+// resort a production resident — eviction SLOs shield the production tier
+// (§5.2). residents arrive sorted weakest-first. Zero-limit residents are
+// reservation-backed (alloc-hosted) and not treated as over-limit.
+func pickOOMVictim(residents []*cluster.Resident) *cluster.Resident {
+	for _, r := range residents {
+		if r.Tier != trace.TierProduction && r.Limit.Mem > 0 && r.Usage.Mem > r.Limit.Mem {
+			return r
+		}
+	}
+	for _, r := range residents {
+		if r.Tier != trace.TierProduction {
+			return r
+		}
+	}
+	if len(residents) > 0 {
+		return residents[0]
+	}
+	return nil
+}
+
+// taskByKey resolves an instance key to its live task.
+func (s *Scheduler) taskByKey(key trace.InstanceKey) *Task {
+	j := s.jobs[key.Collection]
+	if j == nil || int(key.Index) >= len(j.Tasks) {
+		return nil
+	}
+	return j.Tasks[key.Index]
+}
+
+// emitCollection emits a collection event carrying the job's static
+// attributes.
+func (s *Scheduler) emitCollection(j *Job, typ trace.EventType) {
+	s.sink.CollectionEvent(trace.CollectionEvent{
+		Time:           s.k.Now(),
+		Collection:     j.ID,
+		Type:           typ,
+		CollectionType: j.Type,
+		Priority:       j.Priority,
+		Tier:           j.Tier,
+		User:           j.User,
+		Parent:         j.Parent,
+		AllocSet:       j.AllocSet,
+		Scheduler:      j.Scheduler,
+		Scaling:        j.Scaling,
+	})
+}
+
+// emitInstance emits an instance event for a task.
+func (s *Scheduler) emitInstance(t *Task, typ trace.EventType, now sim.Time) {
+	s.sink.InstanceEvent(trace.InstanceEvent{
+		Time:          now,
+		Key:           t.Key,
+		Type:          typ,
+		Machine:       t.Machine,
+		Priority:      t.Job.Priority,
+		Tier:          t.Job.Tier,
+		Request:       t.Request,
+		AllocInstance: t.AllocInstance,
+	})
+}

@@ -1,0 +1,303 @@
+package scheduler
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// attemptPlacement tries to put one pending task onto a machine (or into
+// an alloc instance), falling back to preemption and then to a backoff
+// retry.
+func (s *Scheduler) attemptPlacement(t *Task, now sim.Time) {
+	if t.Job.State == JobDone || t.State != TaskPending {
+		return
+	}
+	// Jobs targeting an alloc set place tasks inside its reservations
+	// (§5.1) instead of claiming machine allocation directly.
+	if t.Job.Type == trace.CollectionJob && t.Job.AllocSet != 0 {
+		s.placeInAlloc(t, now)
+		return
+	}
+
+	m := s.pickMachine(t)
+	if m == nil && s.cfg.EnablePreemption && t.Job.Tier == trace.TierProduction {
+		m = s.tryPreemption(t)
+	}
+	if m == nil {
+		s.retryLater(t)
+		return
+	}
+	s.placeOnMachine(t, m)
+}
+
+// pickMachine samples candidate machines and returns the best feasible one
+// under the configured policy, or nil.
+func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
+	ids := s.cell.MachineIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	k := s.cfg.CandidateSample
+	if k > len(ids) {
+		k = len(ids)
+	}
+	var best *cluster.Machine
+	bestScore := math.Inf(1)
+	for i := 0; i < k; i++ {
+		m := s.cell.Machine(ids[s.src.Intn(len(ids))])
+		if m == nil || !m.FitsLimit(t.Request, s.cfg.Overcommit) {
+			continue
+		}
+		// Usage-aware feasibility: do not stack onto a machine whose
+		// sampled memory usage leaves no room — memory is a hard bound
+		// and placing here would trigger OOM evictions next window.
+		if m.UsageTotal().Mem+0.6*t.Request.Mem > m.Capacity.Mem {
+			continue
+		}
+		if s.cfg.Policy == RandomFit {
+			return m
+		}
+		score := s.score(m, t)
+		if score < bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// score ranks a feasible machine; lower is better. Both the allocation
+// position and the sampled usage contribute, so load spreading considers
+// actual consumption as well as promises.
+func (s *Scheduler) score(m *cluster.Machine, t *Task) float64 {
+	alloc := m.Allocated()
+	usage := m.UsageTotal()
+	capacity := m.Capacity
+	frac := 0.0
+	if capacity.CPU > 0 {
+		frac += (alloc.CPU+t.Request.CPU)/capacity.CPU + usage.CPU/capacity.CPU
+	}
+	if capacity.Mem > 0 {
+		frac += (alloc.Mem+t.Request.Mem)/capacity.Mem + usage.Mem/capacity.Mem
+	}
+	switch s.cfg.Policy {
+	case BestFit:
+		// Prefer the fullest machine that still fits: minimize remaining
+		// headroom, i.e. maximize the post-placement fraction.
+		return -frac
+	case LeastAllocated:
+		// Spread load: prefer the emptiest machine.
+		return frac
+	default:
+		return frac
+	}
+}
+
+// placeOnMachine commits a placement and starts the task.
+func (s *Scheduler) placeOnMachine(t *Task, m *cluster.Machine) {
+	limit := t.Request
+	s.cell.Place(m.ID, &cluster.Resident{
+		Key:      t.Key,
+		Limit:    limit,
+		Priority: t.Job.Priority,
+		Tier:     t.Job.Tier,
+	})
+	s.stats.TasksPlaced++
+	s.startRunning(t, m.ID)
+
+	// A newly placed alloc instance becomes a reservation jobs can
+	// schedule into.
+	if t.Job.Type == trace.CollectionAllocSet {
+		s.allocs[t.Job.ID] = append(s.allocs[t.Job.ID], &AllocInstance{
+			Key:      t.Key,
+			Machine:  m.ID,
+			Reserved: t.Request,
+			tasks:    make(map[trace.InstanceKey]*Task),
+		})
+	}
+}
+
+// placeInAlloc places a task inside the freest alloc instance of its
+// job's target alloc set.
+func (s *Scheduler) placeInAlloc(t *Task, now sim.Time) {
+	instances := s.allocs[t.Job.AllocSet]
+	var best *AllocInstance
+	bestFree := -1.0
+	for _, ai := range instances {
+		free := ai.Free()
+		if t.Request.CPU <= free.CPU+1e-12 && t.Request.Mem <= free.Mem+1e-12 {
+			score := free.CPU + free.Mem
+			if score > bestFree {
+				best, bestFree = ai, score
+			}
+		}
+	}
+	if best == nil {
+		// The alloc set is not (yet) placed or is full; retry later.
+		s.retryLater(t)
+		return
+	}
+	best.Used = best.Used.Add(t.Request)
+	best.tasks[t.Key] = t
+	t.AllocInstance = best.Key
+	// Inner tasks consume the alloc set's reservation, not fresh machine
+	// allocation, so they join the machine with a zero limit.
+	s.cell.Place(best.Machine, &cluster.Resident{
+		Key:      t.Key,
+		Limit:    trace.Resources{},
+		Priority: t.Job.Priority,
+		Tier:     t.Job.Tier,
+	})
+	s.stats.TasksPlaced++
+	s.startRunning(t, best.Machine)
+}
+
+// tryPreemption finds a machine where evicting weaker residents makes room
+// for t, performs the evictions, and returns the machine (§2: "Borg will
+// evict lower-tier jobs in order to ensure production tier jobs receive
+// their expected level of service").
+func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
+	ids := s.cell.MachineIDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	k := s.cfg.CandidateSample
+	if k > len(ids) {
+		k = len(ids)
+	}
+	type plan struct {
+		m       *cluster.Machine
+		victims []*Task
+	}
+	var best *plan
+	for i := 0; i < k; i++ {
+		m := s.cell.Machine(ids[s.src.Intn(len(ids))])
+		if m == nil {
+			continue
+		}
+		ceiling := s.cfg.Overcommit.AllocationCeiling(m.Capacity)
+		need := m.Allocated().Add(t.Request).Sub(ceiling)
+		if need.CPU <= 0 && need.Mem <= 0 {
+			// Already fits; pickMachine should have found it, but the
+			// random samples differ.
+			return m
+		}
+		var victims []*Task
+		freed := trace.Resources{}
+		for _, r := range m.Residents() { // weakest first
+			if r.Priority > t.Job.Priority-s.cfg.PreemptionPriorityGap {
+				break
+			}
+			// Production never preempts production: eviction-rate SLOs
+			// protect the tier (§5.2).
+			if r.Tier == trace.TierProduction {
+				continue
+			}
+			vt := s.taskByKey(r.Key)
+			if vt == nil || vt.State != TaskRunning {
+				continue
+			}
+			victims = append(victims, vt)
+			freed = freed.Add(r.Limit)
+			if freed.CPU >= need.CPU && freed.Mem >= need.Mem {
+				break
+			}
+		}
+		if freed.CPU >= need.CPU && freed.Mem >= need.Mem && len(victims) > 0 {
+			if best == nil || len(victims) < len(best.victims) {
+				best = &plan{m: m, victims: victims}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	for _, v := range best.victims {
+		s.Evict(v)
+		s.stats.Preemptions++
+	}
+	if !best.m.FitsLimit(t.Request, s.cfg.Overcommit) {
+		return nil // eviction freed less than planned (racing state)
+	}
+	return best.m
+}
+
+// retryLater parks a task and re-enqueues it after the retry backoff.
+// Unlike eviction, a feasibility retry is not a trace-visible resubmit.
+func (s *Scheduler) retryLater(t *Task) {
+	s.stats.PlacementRetries++
+	t.State = TaskWaiting
+	t.retryEvent = s.k.After(s.cfg.RetryBackoff, func(sim.Time) {
+		t.retryEvent = nil
+		if t.Job.State == JobDone || t.State != TaskWaiting {
+			return
+		}
+		s.enqueue(t)
+	})
+}
+
+// findAllocInstance resolves an alloc-instance key to its live record.
+func (s *Scheduler) findAllocInstance(key trace.InstanceKey) *AllocInstance {
+	for _, ai := range s.allocs[key.Collection] {
+		if ai.Key == key {
+			return ai
+		}
+	}
+	return nil
+}
+
+// removeAllocInstance drops an alloc instance from the registry. The
+// tasks running inside lose their reservation: if the alloc set is
+// terminating, their jobs are killed outright (they would be killed by the
+// teardown moments later anyway — an EVICT first would misattribute
+// infrastructure evictions to them); if the instance was merely evicted,
+// they are displaced and rescheduled.
+func (s *Scheduler) removeAllocInstance(key trace.InstanceKey, terminal bool) {
+	instances := s.allocs[key.Collection]
+	for i, ai := range instances {
+		if ai.Key != key {
+			continue
+		}
+		s.allocs[key.Collection] = append(instances[:i], instances[i+1:]...)
+		inner := make([]*Task, 0, len(ai.tasks))
+		for _, t := range ai.tasks {
+			inner = append(inner, t)
+		}
+		sortTasks(inner)
+		for _, t := range inner {
+			if terminal {
+				if t.Job.State != JobDone {
+					s.KillJob(t.Job, trace.EventKill)
+				}
+			} else if t.State == TaskRunning {
+				s.Evict(t)
+			}
+		}
+		return
+	}
+}
+
+// sortTasks orders tasks by key for deterministic iteration.
+func sortTasks(ts []*Task) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Key.Collection != ts[j].Key.Collection {
+			return ts[i].Key.Collection < ts[j].Key.Collection
+		}
+		return ts[i].Key.Index < ts[j].Key.Index
+	})
+}
+
+// teardownAllocSet kills the jobs targeting a terminated alloc set —
+// running or still pending — and forgets its reservations.
+func (s *Scheduler) teardownAllocSet(j *Job) {
+	for _, inner := range s.allocJobs[j.ID] {
+		if inner.State != JobDone {
+			s.KillJob(inner, trace.EventKill)
+		}
+	}
+	delete(s.allocJobs, j.ID)
+	delete(s.allocs, j.ID)
+}

@@ -1,0 +1,76 @@
+package scheduler
+
+import (
+	"container/heap"
+
+	"repro/internal/sim"
+)
+
+// taskHeap orders pending tasks by (priority desc, enqueue sequence asc):
+// strongest tier first, FIFO within a priority. The enqueue sequence rather
+// than a timestamp breaks ties deterministically when bursts of tasks
+// arrive in the same simulation instant.
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].Job.Priority != h[j].Job.Priority {
+		return h[i].Job.Priority > h[j].Job.Priority
+	}
+	return h[i].enqueueSeq < h[j].enqueueSeq
+}
+
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *taskHeap) Push(x any) { *h = append(*h, x.(*Task)) }
+
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// enqueue adds a task to the pending queue and pokes the scheduling server.
+func (s *Scheduler) enqueue(t *Task) {
+	t.State = TaskPending
+	t.enqueueSeq = s.seq
+	s.seq++
+	heap.Push(&s.pending, t)
+	s.kick()
+}
+
+// kick starts the scheduling server if it is idle and work is pending.
+// The server processes one placement attempt per service time draw; the
+// resulting queueing behaviour produces the scheduling-delay distributions
+// of Figure 10.
+func (s *Scheduler) kick() {
+	if s.busy || s.pending.Len() == 0 {
+		return
+	}
+	s.busy = true
+	service := s.cfg.ServiceTime.Sample(s.src)
+	if service < 0 {
+		service = 0
+	}
+	s.k.After(sim.FromSeconds(service), func(now sim.Time) {
+		s.busy = false
+		s.serveOne(now)
+		s.kick()
+	})
+}
+
+// serveOne pops the strongest pending task and attempts placement.
+func (s *Scheduler) serveOne(now sim.Time) {
+	for s.pending.Len() > 0 {
+		t := heap.Pop(&s.pending).(*Task)
+		if t.State != TaskPending || t.Job.State == JobDone {
+			continue // withdrawn (killed) while queued
+		}
+		s.attemptPlacement(t, now)
+		return
+	}
+}

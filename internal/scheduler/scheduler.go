@@ -1,0 +1,374 @@
+// Package scheduler implements the Borg cluster scheduler reproduced by
+// the paper: tiered priority scheduling with preemption (§2), limit-based
+// admission with resource overcommit (§4), alloc sets (§5.1), job
+// parent→child kill propagation (§5.2), an Omega-style batch-queue
+// front-end for the best-effort batch tier (§3), and rescheduling of
+// evicted and failed tasks (the churn of §6.2).
+//
+// The scheduler runs inside a discrete-event kernel and emits trace rows
+// through a trace.Sink, so a simulated month of cell operation produces a
+// trace with the same causal structure as the published one.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PlacementPolicy selects among feasible candidate machines.
+type PlacementPolicy int
+
+// Placement policies. The 2011 profile uses RandomFit (wide machine
+// utilization spread); the 2019 profile uses LeastAllocated load spreading,
+// which reproduces Figure 6's tighter utilization distribution.
+const (
+	RandomFit      PlacementPolicy = iota // first feasible candidate
+	BestFit                               // minimize leftover allocation headroom
+	LeastAllocated                        // spread: pick the emptiest candidate
+)
+
+// String names the policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case RandomFit:
+		return "random-fit"
+	case BestFit:
+		return "best-fit"
+	case LeastAllocated:
+		return "least-allocated"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// BatchConfig configures the batch scheduler front-end that queues
+// best-effort batch jobs until the cell can handle them (§3).
+type BatchConfig struct {
+	// CheckPeriod is how often the admission controller runs.
+	CheckPeriod sim.Time
+	// AllocCeiling is the fraction of cell CPU capacity the best-effort
+	// batch tier may have allocated before further jobs are held in the
+	// queue.
+	AllocCeiling float64
+	// MaxAdmitPerCheck caps admissions per controller run; the queue
+	// drains in bursts, which lengthens the beb-tier delay tail
+	// (Figure 10b).
+	MaxAdmitPerCheck int
+}
+
+// Config parameterizes the scheduler.
+type Config struct {
+	Policy PlacementPolicy
+	// CandidateSample is how many machines a placement attempt examines
+	// (power-of-k-choices sampling, as production schedulers do to bound
+	// scan cost).
+	CandidateSample int
+	// Overcommit bounds per-machine allocation relative to capacity.
+	Overcommit cluster.OvercommitPolicy
+	// ServiceTime is the simulated time one placement attempt occupies
+	// the scheduler, in seconds. Scheduling delay distributions
+	// (Figure 10) emerge from this service process and the arrival burst
+	// structure.
+	ServiceTime dist.Sampler
+	// RetryBackoff delays re-attempts for tasks that found no feasible
+	// machine.
+	RetryBackoff sim.Time
+	// EnablePreemption lets production-tier tasks evict lower tiers when
+	// no machine is otherwise feasible (§2).
+	EnablePreemption bool
+	// PreemptionPriorityGap is the minimum priority advantage a task
+	// needs over a victim.
+	PreemptionPriorityGap int
+	// EvictionRestartDelay is how long an evicted task waits before
+	// re-entering the pending queue ("in almost all cases, an evicted
+	// instance will be rescheduled elsewhere in the same cell", §5.2).
+	EvictionRestartDelay sim.Time
+	// FailRestartDelay is how long a crashed task waits before its next
+	// attempt.
+	FailRestartDelay sim.Time
+	// ProdEvictionSLO is the probability a production-tier task is
+	// actually evicted during machine maintenance. Borg's eviction-rate
+	// SLOs protect important collections (§5.2: <0.2% of prod
+	// collections see any eviction), modeled as sparing prod residents
+	// with high probability (they are migrated gracefully instead).
+	ProdEvictionSLO float64
+	// Batch enables the batch-queue front-end when non-nil.
+	Batch *BatchConfig
+}
+
+// DefaultConfig returns a 2019-profile scheduler configuration.
+func DefaultConfig() Config {
+	return Config{
+		Policy:                LeastAllocated,
+		CandidateSample:       16,
+		Overcommit:            cluster.OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.45},
+		ServiceTime:           dist.LogNormalFromMedian(0.06, 0.9),
+		RetryBackoff:          30 * sim.Second,
+		EnablePreemption:      true,
+		PreemptionPriorityGap: 10,
+		EvictionRestartDelay:  15 * sim.Second,
+		FailRestartDelay:      10 * sim.Second,
+		ProdEvictionSLO:       0.08,
+		Batch: &BatchConfig{
+			CheckPeriod:      20 * sim.Second,
+			AllocCeiling:     0.65,
+			MaxAdmitPerCheck: 8,
+		},
+	}
+}
+
+// Outcome is a job's scripted final state, decided by the workload model.
+type Outcome int
+
+// Outcomes.
+const (
+	OutcomeFinish Outcome = iota // completes normally
+	OutcomeKill                  // canceled by the user (or a parent exit)
+	OutcomeFail                  // dies of its own bug
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeFinish:
+		return "finish"
+	case OutcomeKill:
+		return "kill"
+	case OutcomeFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// TaskState is a task's position in its lifecycle.
+type TaskState int
+
+// Task states.
+const (
+	TaskPending TaskState = iota // awaiting placement
+	TaskWaiting                  // backoff or restart delay
+	TaskRunning                  // placed on a machine
+	TaskDead                     // terminal
+)
+
+// Task is one replica of a job (or one alloc instance of an alloc set).
+type Task struct {
+	Key     trace.InstanceKey
+	Job     *Job
+	Request trace.Resources
+
+	// Duration is the total running time the task needs to complete.
+	// Restarts split it into equal segments separated by FAIL events.
+	Duration sim.Time
+	// Restarts is the number of scripted crash-restarts remaining.
+	Restarts int
+
+	// Usage model parameters, consumed by the simulation's sampling loop:
+	// mean absolute usage in NCU/NMU (independent of the limit, so
+	// Autopilot limit changes alter slack, not consumption), and the
+	// peak-to-mean factor within a sampling window.
+	MeanCPU  float64
+	MeanMem  float64
+	PeakFact float64
+
+	State   TaskState
+	Machine trace.MachineID
+	// AllocInstance hosts this task when the job targets an alloc set.
+	AllocInstance trace.InstanceKey
+
+	remaining   sim.Time
+	segment     sim.Time // remaining time in the current segment plan
+	runStart    sim.Time
+	endEvent    *sim.Event
+	retryEvent  *sim.Event
+	enqueueSeq  uint64
+	submitted   bool // first instance SUBMIT emitted
+	Reschedules int  // SUBMIT events beyond the first
+	Evictions   int
+	oomFails    int // times killed for exceeding its own memory limit
+}
+
+// JobState is a job's position in its lifecycle.
+type JobState int
+
+// Job states.
+const (
+	JobSubmitted JobState = iota
+	JobQueued             // held by the batch scheduler
+	JobReady              // eligible for placement
+	JobDone
+)
+
+// Job is a collection: a job proper or an alloc set.
+type Job struct {
+	ID        trace.CollectionID
+	Type      trace.CollectionType
+	Priority  int
+	Tier      trace.Tier
+	User      string
+	Parent    trace.CollectionID
+	AllocSet  trace.CollectionID // target alloc set for task placement
+	Scheduler trace.SchedulerKind
+	Scaling   trace.VerticalScaling
+
+	// Outcome scripts how the job ends if it runs to completion;
+	// KillAfter > 0 schedules a user-initiated kill that long after
+	// submission (before natural completion, it wins).
+	Outcome   Outcome
+	KillAfter sim.Time
+
+	Tasks []*Task
+
+	State      JobState
+	SubmitTime sim.Time
+	ReadyTime  sim.Time
+	// FirstRun is when the first task started running (scheduling delay
+	// measurement, Figure 10); -1 until then.
+	FirstRun  sim.Time
+	FinalType trace.EventType // termination event emitted, EventSubmit if still open
+
+	liveTasks int
+	killEvent *sim.Event
+}
+
+// NewJob constructs a job with sensible zero-state bookkeeping.
+func NewJob(id trace.CollectionID) *Job {
+	return &Job{ID: id, FirstRun: -1}
+}
+
+// AddTask appends a task to the job, assigning the next instance index.
+func (j *Job) AddTask(t *Task) {
+	t.Key = trace.InstanceKey{Collection: j.ID, Index: int32(len(j.Tasks))}
+	t.Job = j
+	j.Tasks = append(j.Tasks, t)
+}
+
+// Stats counts scheduler activity for logs and ablation benches.
+type Stats struct {
+	JobsSubmitted       int
+	TasksPlaced         int
+	PlacementRetries    int
+	Preemptions         int
+	OOMEvictions        int // aggregate-overcommit evictions (EVICT)
+	OOMKills            int // over-own-limit kills (FAIL, §5.2's "fail")
+	MachineEvictions    int
+	BatchAdmitted       int
+	BatchQueuedNow      int
+	TasksFailedRestarts int
+}
+
+// AllocInstance is a reserved slot of an alloc set placed on a machine;
+// jobs targeting the alloc set place tasks inside these reservations.
+type AllocInstance struct {
+	Key      trace.InstanceKey
+	Machine  trace.MachineID
+	Reserved trace.Resources
+	Used     trace.Resources
+	tasks    map[trace.InstanceKey]*Task
+}
+
+// Free returns the unused reservation.
+func (a *AllocInstance) Free() trace.Resources { return a.Reserved.Sub(a.Used) }
+
+// Scheduler is the cell scheduler.
+type Scheduler struct {
+	cfg  Config
+	cell *cluster.Cell
+	k    *sim.Kernel
+	sink trace.Sink
+	src  *rng.Source
+
+	pending taskHeap
+	busy    bool
+	seq     uint64
+
+	jobs     map[trace.CollectionID]*Job
+	children map[trace.CollectionID][]*Job
+	allocs   map[trace.CollectionID][]*AllocInstance // live alloc instances per alloc set
+	// allocJobs tracks jobs targeting each alloc set, so tearing the set
+	// down can kill them even when they are still pending.
+	allocJobs map[trace.CollectionID][]*Job
+	// running indexes tasks currently placed on machines, so per-window
+	// usage sampling is O(running) rather than O(all jobs ever).
+	running map[trace.InstanceKey]*Task
+
+	batchQueue []*Job
+
+	stats Stats
+
+	// UnplaceHook, when set, is invoked just before a running task
+	// leaves its machine, with the time it started running. The usage
+	// sampler uses it to emit partial-window usage records so that
+	// short-lived tasks (most of the workload's "mice") appear in the
+	// usage table.
+	UnplaceHook func(t *Task, runStart sim.Time)
+}
+
+// New constructs a scheduler bound to a cell, kernel and sink.
+func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rng.Source) *Scheduler {
+	if cfg.CandidateSample <= 0 {
+		cfg.CandidateSample = 8
+	}
+	if cfg.ServiceTime == nil {
+		cfg.ServiceTime = dist.Deterministic{Value: 0.05}
+	}
+	s := &Scheduler{
+		cfg:       cfg,
+		cell:      cell,
+		k:         k,
+		sink:      sink,
+		src:       src,
+		jobs:      make(map[trace.CollectionID]*Job),
+		children:  make(map[trace.CollectionID][]*Job),
+		allocs:    make(map[trace.CollectionID][]*AllocInstance),
+		allocJobs: make(map[trace.CollectionID][]*Job),
+		running:   make(map[trace.InstanceKey]*Task),
+	}
+	if cfg.Batch != nil {
+		k.Every(cfg.Batch.CheckPeriod, cfg.Batch.CheckPeriod, 0, func(sim.Time) {
+			s.batchAdmissionCheck()
+		})
+	}
+	return s
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	st.BatchQueuedNow = len(s.batchQueue)
+	return st
+}
+
+// Job returns a submitted job by ID, or nil.
+func (s *Scheduler) Job(id trace.CollectionID) *Job { return s.jobs[id] }
+
+// RunningTasks calls fn for every running task in the cell, in a
+// deterministic (sorted-key) order so callers may consume randomness.
+func (s *Scheduler) RunningTasks(fn func(*Task)) {
+	keys := make([]trace.InstanceKey, 0, len(s.running))
+	for k := range s.running {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Collection != keys[j].Collection {
+			return keys[i].Collection < keys[j].Collection
+		}
+		return keys[i].Index < keys[j].Index
+	})
+	for _, k := range keys {
+		fn(s.running[k])
+	}
+}
+
+// NumRunning returns the number of currently running tasks.
+func (s *Scheduler) NumRunning() int { return len(s.running) }
+
+// Cell returns the scheduled cell.
+func (s *Scheduler) Cell() *cluster.Cell { return s.cell }

@@ -1,0 +1,237 @@
+// Package sim provides the discrete-event simulation kernel that drives the
+// Borg cell reproduction: a virtual clock in microseconds (the trace's time
+// unit), a priority event queue, and helpers for periodic processes such as
+// the 5-minute usage sampler.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time in microseconds since trace start,
+// matching the published trace's timestamp unit.
+type Time int64
+
+// Common durations in trace time units.
+const (
+	Microsecond Time = 1
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+
+	// SampleWindow is the usage-sampling period used by the trace
+	// (5-minute windows, §3).
+	SampleWindow = 5 * Minute
+)
+
+// Duration converts a standard library duration to simulation time.
+func Duration(d time.Duration) Time { return Time(d.Microseconds()) }
+
+// FromSeconds converts floating-point seconds to simulation time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromHours converts floating-point hours to simulation time.
+func FromHours(h float64) Time { return Time(h * float64(Hour)) }
+
+// Seconds returns t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Hours returns t as floating-point hours.
+func (t Time) Hours() float64 { return float64(t) / float64(Hour) }
+
+// String renders the time as d.hh:mm:ss.mmm for logs and debugging.
+func (t Time) String() string {
+	neg := ""
+	if t < 0 {
+		neg, t = "-", -t
+	}
+	d := t / Day
+	h := (t % Day) / Hour
+	m := (t % Hour) / Minute
+	s := (t % Minute) / Second
+	ms := (t % Second) / Millisecond
+	return fmt.Sprintf("%s%d.%02d:%02d:%02d.%03d", neg, d, h, m, s, ms)
+}
+
+// Event is a scheduled callback. Fire runs at the event's due time.
+type Event struct {
+	due      Time
+	seq      uint64 // tie-break: FIFO among equal times
+	index    int    // heap index, -1 when not queued
+	canceled bool
+	fire     func(now Time)
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Due returns the time the event is scheduled for.
+func (e *Event) Due() Time { return e.due }
+
+// eventHeap orders events by (due, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the simulation model is deterministic and sequential by
+// design (randomness is injected via rng streams).
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	events uint64 // fired events, for stats
+}
+
+// NewKernel returns a kernel with the clock at 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired returns how many events have been executed.
+func (k *Kernel) Fired() uint64 { return k.events }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fire to run at the absolute time due. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (k *Kernel) At(due Time, fire func(now Time)) *Event {
+	if due < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", due, k.now))
+	}
+	e := &Event{due: due, seq: k.seq, fire: fire}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fire to run delay after the current time.
+func (k *Kernel) After(delay Time, fire func(now Time)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now+delay, fire)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&k.queue, e.index)
+	e.index = -1
+}
+
+// Step fires the next event, advancing the clock. It returns false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.due
+		k.events++
+		e.fire(k.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the queue is drained or the next event is
+// later than end; the clock is then advanced to end. Events scheduled by
+// callbacks during the run are honored.
+func (k *Kernel) RunUntil(end Time) {
+	for len(k.queue) > 0 {
+		// Peek.
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.due > end {
+			break
+		}
+		k.Step()
+	}
+	if k.now < end {
+		k.now = end
+	}
+}
+
+// Run drains the queue completely.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// Every schedules fire at start, start+period, ... while the kernel runs,
+// until the returned stop function is called or until (optional) end is
+// reached (end <= 0 means no end). fire runs before the next tick is
+// scheduled, so a callback may stop its own ticker.
+func (k *Kernel) Every(start, period, end Time, fire func(now Time)) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	stopped := false
+	var tick func(now Time)
+	var pending *Event
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fire(now)
+		next := now + period
+		if stopped || (end > 0 && next > end) {
+			return
+		}
+		pending = k.At(next, tick)
+	}
+	if end <= 0 || start <= end {
+		pending = k.At(start, tick)
+	}
+	return func() {
+		stopped = true
+		if pending != nil {
+			k.Cancel(pending)
+		}
+	}
+}

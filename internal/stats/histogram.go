@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// UsageHistogramBuckets is the number of buckets in the trace's per-sample
+// CPU usage histogram. The 2019 trace records a 21-element histogram per
+// 5-minute window, biased towards high percentiles (§3, "CPU usage
+// histograms").
+const UsageHistogramBuckets = 21
+
+// usageHistogramEdges are the upper edges (as a fraction of the limit or
+// machine capacity) of the 21 buckets. The spacing is deliberately denser
+// near 1.0, mirroring the trace's bias towards high percentiles.
+var usageHistogramEdges = func() [UsageHistogramBuckets]float64 {
+	var e [UsageHistogramBuckets]float64
+	// 11 coarse buckets covering [0, 0.8), then 10 fine buckets covering
+	// [0.8, +inf): 0.80, 0.84, ..., 0.96, 1.0, 1.1, 1.25, 1.5, +inf.
+	coarse := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.8}
+	fine := []float64{0.84, 0.88, 0.92, 0.96, 1.0, 1.1, 1.25, 1.5, 2.0, math.Inf(1)}
+	i := 0
+	for _, v := range coarse {
+		e[i] = v
+		i++
+	}
+	for _, v := range fine {
+		e[i] = v
+		i++
+	}
+	return e
+}()
+
+// UsageHistogram is a fixed 21-bucket histogram of CPU utilization samples
+// within one 5-minute window, as stored in trace usage records.
+type UsageHistogram struct {
+	Counts [UsageHistogramBuckets]uint32
+}
+
+// Add records one utilization observation (usage ÷ limit, may exceed 1 for
+// work-conserving CPU).
+func (h *UsageHistogram) Add(util float64) {
+	i := sort.SearchFloat64s(usageHistogramEdges[:], util)
+	// SearchFloat64s returns the first edge >= util; util exactly on an
+	// edge belongs to that bucket. The final bucket edge is +inf so i is
+	// always in range, but guard against NaN.
+	if i >= UsageHistogramBuckets {
+		i = UsageHistogramBuckets - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of observations recorded.
+func (h *UsageHistogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += int(c)
+	}
+	return t
+}
+
+// Quantile estimates the q-quantile of the recorded utilizations from the
+// histogram, interpolating within the owning bucket. The final (overflow)
+// bucket returns its lower edge.
+func (h *UsageHistogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = usageHistogramEdges[i-1]
+			}
+			hi := usageHistogramEdges[i]
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			frac := 0.5
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return usageHistogramEdges[UsageHistogramBuckets-2]
+}
+
+// Merge adds other's counts into h.
+func (h *UsageHistogram) Merge(other *UsageHistogram) {
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+}
+
+// BucketUpperEdge returns the upper edge of bucket i; the last bucket is
+// unbounded (+inf).
+func BucketUpperEdge(i int) float64 {
+	if i < 0 || i >= UsageHistogramBuckets {
+		panic(fmt.Sprintf("stats: bucket index %d out of range", i))
+	}
+	return usageHistogramEdges[i]
+}
+
+// LinearHistogram is a general-purpose equal-width histogram used by the
+// report package to render distributions as text.
+type LinearHistogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	beneath int
+	above   int
+}
+
+// NewLinearHistogram builds a histogram with n equal-width buckets on
+// [lo, hi). Values outside the range are tallied separately.
+func NewLinearHistogram(lo, hi float64, n int) *LinearHistogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid linear histogram")
+	}
+	return &LinearHistogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records an observation.
+func (h *LinearHistogram) Add(x float64) {
+	if x < h.Lo {
+		h.beneath++
+		return
+	}
+	if x >= h.Hi {
+		h.above++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Underflow and Overflow return counts outside [Lo, Hi).
+func (h *LinearHistogram) Underflow() int { return h.beneath }
+
+// Overflow returns the count of observations at or above Hi.
+func (h *LinearHistogram) Overflow() int { return h.above }

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUsageHistogramAddTotal(t *testing.T) {
+	var h UsageHistogram
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 100)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestUsageHistogramHighBias(t *testing.T) {
+	// More than half the buckets must cover the [0.8, inf) region — the
+	// trace's histogram is biased towards high percentiles.
+	highBuckets := 0
+	for i := 0; i < UsageHistogramBuckets; i++ {
+		if BucketUpperEdge(i) > 0.8 {
+			highBuckets++
+		}
+	}
+	if highBuckets < 9 {
+		t.Fatalf("only %d buckets above 0.8", highBuckets)
+	}
+}
+
+func TestUsageHistogramQuantile(t *testing.T) {
+	var h UsageHistogram
+	src := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		h.Add(src.Float64()) // uniform on [0,1)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > 0.05 {
+			t.Fatalf("quantile(%v) = %v", q, got)
+		}
+	}
+	var empty UsageHistogram
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestUsageHistogramOverflowBucket(t *testing.T) {
+	var h UsageHistogram
+	h.Add(5.0)  // way above 2.0 edge: overflow bucket
+	h.Add(-1.0) // negative clamps into first bucket region via search
+	if h.Total() != 2 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Counts[UsageHistogramBuckets-1] != 1 {
+		t.Fatalf("overflow bucket count %d", h.Counts[UsageHistogramBuckets-1])
+	}
+}
+
+func TestUsageHistogramMerge(t *testing.T) {
+	var a, b UsageHistogram
+	a.Add(0.1)
+	b.Add(0.1)
+	b.Add(0.95)
+	a.Merge(&b)
+	if a.Total() != 3 {
+		t.Fatalf("merged total %d", a.Total())
+	}
+}
+
+func TestBucketUpperEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range bucket did not panic")
+		}
+	}()
+	BucketUpperEdge(UsageHistogramBuckets)
+}
+
+func TestLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
+	h.Add(-1)
+	h.Add(0)
+	h.Add(5.5)
+	h.Add(9.999)
+	h.Add(10)
+	h.Add(42)
+	if h.Underflow() != 1 {
+		t.Fatalf("underflow %d", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow %d", h.Overflow())
+	}
+	if h.Counts[0] != 1 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+}
+
+func TestLinearHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewLinearHistogram(5, 5, 10)
+}

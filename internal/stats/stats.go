@@ -1,0 +1,424 @@
+// Package stats implements the descriptive statistics the paper's analyses
+// are built from: complementary CDFs, percentiles, the squared coefficient
+// of variation C² (§7), Pareto tail fitting with R² goodness of fit
+// (Table 2), Pearson correlation (Figure 13), top-k load shares, reservoir
+// sampling for unbiased percentile estimation, and the trace's 21-bucket
+// CPU-usage histogram.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Summary holds the moments and percentiles reported in Table 2 of the
+// paper for a sample of non-negative values.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // population variance
+	C2       float64 // squared coefficient of variation: variance / mean²
+	Min      float64
+	Max      float64
+	Median   float64
+	P90      float64
+	P99      float64
+	P999     float64
+	Total    float64
+}
+
+// Summarize computes a Summary over xs. It sorts a copy; xs is unmodified.
+// An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+
+	var sum, sumsq float64
+	for _, x := range s {
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric noise for near-constant samples
+	}
+	c2 := math.Inf(1)
+	if mean != 0 {
+		c2 = variance / (mean * mean)
+	}
+	return Summary{
+		N:        len(s),
+		Mean:     mean,
+		Variance: variance,
+		C2:       c2,
+		Min:      s[0],
+		Max:      s[len(s)-1],
+		Median:   quantileSorted(s, 0.5),
+		P90:      quantileSorted(s, 0.90),
+		P99:      quantileSorted(s, 0.99),
+		P999:     quantileSorted(s, 0.999),
+		Total:    sum,
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It sorts a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// QuantileSorted returns the q-quantile of an already-sorted sample.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// CCDFPoint is one (x, P(X > x)) sample of a complementary CDF.
+type CCDFPoint struct {
+	X float64
+	P float64
+}
+
+// CCDF computes the complementary cumulative distribution function of xs:
+// for each distinct value x, the fraction of samples strictly greater
+// than x. The result is sorted by X ascending; P is non-increasing.
+func CCDF(xs []float64) []CCDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := float64(len(s))
+	var out []CCDFPoint
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		// P(X > s[i]) = (number of samples after the run) / n.
+		out = append(out, CCDFPoint{X: s[i], P: float64(len(s)-j) / n})
+		i = j
+	}
+	return out
+}
+
+// CCDFAt evaluates an already-computed CCDF at x (step interpolation).
+// For x below the smallest sample it returns 1.
+func CCDFAt(ccdf []CCDFPoint, x float64) float64 {
+	if len(ccdf) == 0 {
+		return math.NaN()
+	}
+	if x < ccdf[0].X {
+		return 1
+	}
+	i := sort.Search(len(ccdf), func(i int) bool { return ccdf[i].X > x })
+	return ccdf[i-1].P
+}
+
+// CCDFSampled returns the CCDF evaluated on a fixed grid of xs values —
+// convenient for rendering figure series with a bounded number of points.
+func CCDFSampled(xs []float64, grid []float64) []CCDFPoint {
+	c := CCDF(xs)
+	out := make([]CCDFPoint, 0, len(grid))
+	for _, g := range grid {
+		out = append(out, CCDFPoint{X: g, P: CCDFAt(c, g)})
+	}
+	return out
+}
+
+// TopShare returns the fraction of the total mass of xs contributed by the
+// largest frac portion of samples (e.g. frac = 0.01 gives the paper's
+// "top 1% of jobs consume X% of resources"). Returns NaN for empty input.
+func TopShare(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	total := 0.0
+	for _, x := range s {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	k := int(math.Ceil(frac * float64(len(s))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s) {
+		k = len(s)
+	}
+	top := 0.0
+	for _, x := range s[len(s)-k:] {
+		top += x
+	}
+	return top / total
+}
+
+// ParetoFit is the result of fitting a Pareto tail to a sample, mirroring
+// the paper's Table 2 methodology: ordinary least squares on the log–log
+// CCDF of the "large job" body (values > lower bound, excluding the
+// extreme top quantile), with R² measuring the fit.
+type ParetoFit struct {
+	Alpha float64 // tail index: P(X > x) ≈ C · x^(-Alpha)
+	R2    float64 // goodness of fit of the log-log regression
+	N     int     // samples used in the fit
+}
+
+// FitParetoTail fits a Pareto tail to xs restricted to values in
+// (lower, upper-quantile(trim)] — the paper uses lower = 1 resource-hour
+// and trim = 0.9999 (drop the top 0.01%). Returns a zero fit if fewer than
+// 10 points remain.
+func FitParetoTail(xs []float64, lower, trimQuantile float64) ParetoFit {
+	if len(xs) == 0 {
+		return ParetoFit{}
+	}
+	s := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > lower {
+			s = append(s, x)
+		}
+	}
+	if len(s) < 10 {
+		return ParetoFit{}
+	}
+	sort.Float64s(s)
+	if trimQuantile > 0 && trimQuantile < 1 {
+		cut := quantileSorted(s, trimQuantile)
+		i := sort.SearchFloat64s(s, cut)
+		if i < 10 {
+			i = len(s)
+		}
+		s = s[:i]
+	}
+	if len(s) < 10 {
+		return ParetoFit{}
+	}
+
+	// Build the empirical log-log CCDF on distinct values; regress
+	// log P(X > x) = log C - alpha * log x.
+	n := float64(len(s))
+	var logx, logp []float64
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		p := float64(len(s)-j) / n
+		if p > 0 && s[i] > 0 {
+			logx = append(logx, math.Log(s[i]))
+			logp = append(logp, math.Log(p))
+		}
+		i = j
+	}
+	if len(logx) < 5 {
+		return ParetoFit{}
+	}
+	slope, _, r2 := linregress(logx, logp)
+	return ParetoFit{Alpha: -slope, R2: r2, N: len(s)}
+}
+
+// HillEstimate returns the Hill estimator of the tail index using the top
+// k order statistics. A second, independent estimate of alpha used to
+// cross-check the regression fit.
+func HillEstimate(xs []float64, k int) float64 {
+	if len(xs) < 2 || k < 1 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if k >= len(s) {
+		k = len(s) - 1
+	}
+	xk := s[len(s)-1-k]
+	if xk <= 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := len(s) - k; i < len(s); i++ {
+		sum += math.Log(s[i] / xk)
+	}
+	if sum == 0 {
+		return math.NaN()
+	}
+	return float64(k) / sum
+}
+
+// linregress fits y = intercept + slope*x by ordinary least squares and
+// returns (slope, intercept, R²).
+func linregress(x, y []float64) (slope, intercept, r2 float64) {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	// R² = 1 - SS_res/SS_tot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := intercept + slope*x[i]
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}
+
+// LinRegress exposes the least-squares fit for callers outside the package.
+func LinRegress(x, y []float64) (slope, intercept, r2 float64) {
+	if len(x) != len(y) || len(x) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	return linregress(x, y)
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Reservoir is a fixed-capacity uniform sample of a stream (Vitter's
+// algorithm R). The paper notes its percentiles and C² values are from
+// "unbiased random samples"; analyses over very long simulations use a
+// reservoir rather than retaining every observation.
+type Reservoir struct {
+	cap  int
+	seen int64
+	data []float64
+	src  *rng.Source
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples.
+func NewReservoir(capacity int, src *rng.Source) *Reservoir {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stats: reservoir capacity %d", capacity))
+	}
+	return &Reservoir{cap: capacity, src: src}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.data) < r.cap {
+		r.data = append(r.data, x)
+		return
+	}
+	j := r.src.Uint64n(uint64(r.seen))
+	if j < uint64(r.cap) {
+		r.data[j] = x
+	}
+}
+
+// Values returns the retained sample (not a copy).
+func (r *Reservoir) Values() []float64 { return r.data }
+
+// Seen returns how many observations were offered in total.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Welford accumulates running mean/variance without storing samples.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the count of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// C2 returns variance/mean² (the squared coefficient of variation).
+func (w *Welford) C2() float64 {
+	m := w.Mean()
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return w.Variance() / (m * m)
+}

@@ -1,0 +1,346 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Variance-2) > 1e-12 {
+		t.Fatalf("variance %v, want 2", s.Variance)
+	}
+	if math.Abs(s.C2-2.0/9.0) > 1e-12 {
+		t.Fatalf("C2 %v, want 2/9", s.C2)
+	}
+	if s.Total != 15 {
+		t.Fatalf("total %v", s.Total)
+	}
+	// Input must be unmodified.
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("input was reordered")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]float64{7, 7, 7, 7})
+	if s.Variance != 0 || s.C2 != 0 {
+		t.Fatalf("constant sample variance %v C2 %v", s.Variance, s.C2)
+	}
+}
+
+func TestSummarizeZeroMean(t *testing.T) {
+	s := Summarize([]float64{0, 0, 0})
+	if !math.IsInf(s.C2, 1) {
+		t.Fatalf("C2 of zero-mean sample should be +inf, got %v", s.C2)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Fatalf("median %v, want 5", got)
+	}
+	if got := Quantile(xs, 0); got != 0 {
+		t.Fatalf("q0 %v", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Fatalf("q1 %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty should be NaN")
+	}
+}
+
+func TestCCDFShape(t *testing.T) {
+	xs := []float64{1, 1, 2, 3}
+	c := CCDF(xs)
+	want := []CCDFPoint{{1, 0.5}, {2, 0.25}, {3, 0}}
+	if len(c) != len(want) {
+		t.Fatalf("ccdf %v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("ccdf[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	if got := CCDFAt(c, 0.5); got != 1 {
+		t.Fatalf("CCDF below min should be 1, got %v", got)
+	}
+	if got := CCDFAt(c, 1.5); got != 0.5 {
+		t.Fatalf("CCDF(1.5) = %v", got)
+	}
+	if got := CCDFAt(c, 99); got != 0 {
+		t.Fatalf("CCDF above max should be 0, got %v", got)
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = src.Float64() * 100
+	}
+	c := CCDF(xs)
+	for i := 1; i < len(c); i++ {
+		if c[i].X <= c[i-1].X {
+			t.Fatal("CCDF x not strictly increasing")
+		}
+		if c[i].P > c[i-1].P {
+			t.Fatal("CCDF p increased")
+		}
+	}
+	if c[len(c)-1].P != 0 {
+		t.Fatal("CCDF must end at 0")
+	}
+}
+
+func TestCCDFSampled(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := CCDFSampled(xs, []float64{0, 2.5, 10})
+	if got[0].P != 1 || got[1].P != 0.5 || got[2].P != 0 {
+		t.Fatalf("sampled ccdf %v", got)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	// 99 ones and a single 9901: the top 1% (1 sample) carries 99.01% of
+	// mass.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 1
+	}
+	xs[99] = 9901
+	got := TopShare(xs, 0.01)
+	if math.Abs(got-0.9901) > 1e-9 {
+		t.Fatalf("top share %v", got)
+	}
+	if !math.IsNaN(TopShare(nil, 0.01)) {
+		t.Fatal("empty top share should be NaN")
+	}
+	if TopShare([]float64{0, 0}, 0.5) != 0 {
+		t.Fatal("zero-mass top share should be 0")
+	}
+	if TopShare([]float64{5}, 0.0001) != 1 {
+		t.Fatal("tiny frac should still take at least one sample")
+	}
+}
+
+func TestFitParetoTailRecoversAlpha(t *testing.T) {
+	src := rng.New(2)
+	p := dist.Pareto{Xm: 1, Alpha: 0.7}
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = p.Sample(src)
+	}
+	fit := FitParetoTail(xs, 1, 0.9999)
+	if math.Abs(fit.Alpha-0.7) > 0.06 {
+		t.Fatalf("fitted alpha %v, want ~0.7", fit.Alpha)
+	}
+	if fit.R2 < 0.98 {
+		t.Fatalf("R2 %v, want > 0.98", fit.R2)
+	}
+}
+
+func TestFitParetoTailDegenerate(t *testing.T) {
+	if fit := FitParetoTail(nil, 1, 0.9999); fit.N != 0 {
+		t.Fatalf("empty fit: %+v", fit)
+	}
+	if fit := FitParetoTail([]float64{0.1, 0.2}, 1, 0.9999); fit.N != 0 {
+		t.Fatalf("all-below-lower fit: %+v", fit)
+	}
+}
+
+func TestHillEstimate(t *testing.T) {
+	src := rng.New(3)
+	p := dist.Pareto{Xm: 1, Alpha: 1.5}
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = p.Sample(src)
+	}
+	alpha := HillEstimate(xs, 5000)
+	if math.Abs(alpha-1.5) > 0.12 {
+		t.Fatalf("Hill estimate %v, want ~1.5", alpha)
+	}
+	if !math.IsNaN(HillEstimate(nil, 10)) {
+		t.Fatal("Hill of empty should be NaN")
+	}
+}
+
+func TestLinRegressExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	slope, intercept, r2 := LinRegress(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("fit %v %v %v", slope, intercept, r2)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect correlation r=%v", r)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yneg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation r=%v", r)
+	}
+	if !math.IsNaN(Pearson(x, []float64{1, 1, 1, 1, 1})) {
+		t.Fatal("constant series should give NaN")
+	}
+	if !math.IsNaN(Pearson(x, x[:2])) {
+		t.Fatal("mismatched lengths should give NaN")
+	}
+}
+
+func TestReservoirUnbiased(t *testing.T) {
+	src := rng.New(4)
+	r := NewReservoir(1000, src)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != n {
+		t.Fatalf("seen %d", r.Seen())
+	}
+	if len(r.Values()) != 1000 {
+		t.Fatalf("retained %d", len(r.Values()))
+	}
+	m := Summarize(r.Values()).Mean
+	if math.Abs(m-float64(n)/2) > float64(n)*0.03 {
+		t.Fatalf("reservoir mean %v biased (want ~%v)", m, n/2)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	src := rng.New(5)
+	r := NewReservoir(100, src)
+	for i := 0; i < 10; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Values()) != 10 {
+		t.Fatalf("should keep everything below capacity, got %d", len(r.Values()))
+	}
+}
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	src := rng.New(6)
+	xs := make([]float64, 10000)
+	var w Welford
+	for i := range xs {
+		xs[i] = src.Float64()*10 + 1
+		w.Add(xs[i])
+	}
+	s := Summarize(xs)
+	if math.Abs(w.Mean()-s.Mean) > 1e-9 {
+		t.Fatalf("welford mean %v vs %v", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Variance()-s.Variance) > 1e-6 {
+		t.Fatalf("welford variance %v vs %v", w.Variance(), s.Variance)
+	}
+	if math.Abs(w.C2()-s.C2) > 1e-9 {
+		t.Fatalf("welford C2 %v vs %v", w.C2(), s.C2)
+	}
+	if w.N() != int64(s.N) {
+		t.Fatalf("welford n %d", w.N())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.Mean() != 0 {
+		t.Fatal("empty welford should be zero")
+	}
+	if !math.IsInf(w.C2(), 1) {
+		t.Fatal("empty welford C2 should be +inf")
+	}
+}
+
+// Property: CCDF values are always within [0,1] and non-increasing.
+func TestCCDFProperty(t *testing.T) {
+	src := rng.New(7)
+	f := func(n uint8) bool {
+		xs := make([]float64, int(n)+1)
+		for i := range xs {
+			xs[i] = src.NormFloat64()
+		}
+		c := CCDF(xs)
+		prev := 1.0
+		for _, pt := range c {
+			if pt.P < 0 || pt.P > prev {
+				return false
+			}
+			prev = pt.P
+		}
+		return c[len(c)-1].P == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	src := rng.New(8)
+	f := func(n uint8) bool {
+		xs := make([]float64, int(n)+2)
+		for i := range xs {
+			xs[i] = src.Float64() * 100
+		}
+		s := make([]float64, len(xs))
+		copy(s, xs)
+		sort.Float64s(s)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := QuantileSorted(s, q)
+			if v < prev || v < s[0] || v > s[len(s)-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopShare is within [0,1] and non-decreasing in frac.
+func TestTopShareMonotoneProperty(t *testing.T) {
+	src := rng.New(9)
+	f := func(n uint8) bool {
+		xs := make([]float64, int(n)+1)
+		for i := range xs {
+			xs[i] = math.Abs(src.NormFloat64())
+		}
+		prev := 0.0
+		for _, frac := range []float64{0.01, 0.1, 0.5, 1.0} {
+			s := TopShare(xs, frac)
+			if s < prev-1e-12 || s < 0 || s > 1+1e-12 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

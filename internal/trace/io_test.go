@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := newTestTrace()
+	dir := t.TempDir()
+	if err := WriteDir(tr, dir); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for _, f := range []string{metaFile, collectionEventsFile, instanceEventsFile, usageFile, machineEventsFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Meta != tr.Meta {
+		t.Fatalf("meta %+v != %+v", got.Meta, tr.Meta)
+	}
+	if !reflect.DeepEqual(got.CollectionEvents, tr.CollectionEvents) {
+		t.Fatalf("collection events differ:\n%v\n%v", got.CollectionEvents, tr.CollectionEvents)
+	}
+	if !reflect.DeepEqual(got.InstanceEvents, tr.InstanceEvents) {
+		t.Fatalf("instance events differ")
+	}
+	if !reflect.DeepEqual(got.UsageRecords, tr.UsageRecords) {
+		t.Fatalf("usage records differ:\n%v\n%v", got.UsageRecords, tr.UsageRecords)
+	}
+	if !reflect.DeepEqual(got.MachineEvents, tr.MachineEvents) {
+		t.Fatalf("machine events differ")
+	}
+}
+
+func TestReadDirMissing(t *testing.T) {
+	if _, err := ReadDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+}
+
+func TestReadDirCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(newTestTrace(), dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("expected error for corrupt meta")
+	}
+}
+
+func TestReadDirCorruptRow(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(newTestTrace(), dir); err != nil {
+		t.Fatal(err)
+	}
+	bad := "time,collection_id,type,collection_type,priority,tier,user,parent_collection_id,alloc_collection_id,scheduler,vertical_scaling\nnot-a-number,1,SUBMIT,job,0,free,u,0,0,default,none\n"
+	if err := os.WriteFile(filepath.Join(dir, collectionEventsFile), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("expected error for corrupt row")
+	}
+}
+
+func TestReadDirBadEnums(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDir(newTestTrace(), dir); err != nil {
+		t.Fatal(err)
+	}
+	bad := "time,collection_id,type,collection_type,priority,tier,user,parent_collection_id,alloc_collection_id,scheduler,vertical_scaling\n1,1,SUBMIT,weird,0,free,u,0,0,default,none\n"
+	if err := os.WriteFile(filepath.Join(dir, collectionEventsFile), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("expected error for bad collection type")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := parseTier("nope"); err == nil {
+		t.Fatal("parseTier")
+	}
+	if _, err := parseScheduler("nope"); err == nil {
+		t.Fatal("parseScheduler")
+	}
+	if _, err := parseScaling("nope"); err == nil {
+		t.Fatal("parseScaling")
+	}
+	if _, err := parseMachineEventType("nope"); err == nil {
+		t.Fatal("parseMachineEventType")
+	}
+	for _, tier := range Tiers() {
+		got, err := parseTier(tier.String())
+		if err != nil || got != tier {
+			t.Fatalf("tier round trip %v", tier)
+		}
+	}
+}
