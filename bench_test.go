@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -226,6 +228,28 @@ func BenchmarkFigure14(b *testing.B) {
 			stats.Quantile(slack[trace.ScalingFull], 0.5)
 	}
 	b.ReportMetric(gap, "autopilot-slack-gap-pp")
+}
+
+// BenchmarkSuiteParallelism measures the multi-cell suite at parallelism
+// 1 versus 8: the engine's whole reason to exist is the wall-clock gap
+// between these two sub-benchmarks (the output is identical). The gap
+// scales with available cores — on a single-core machine the two are
+// equal, since 9 deterministic single-threaded simulations cannot go
+// faster than the hardware.
+func BenchmarkSuiteParallelism(b *testing.B) {
+	b.Logf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	sc := experiments.Scale{
+		Name: "bench-par", Machines2011: 80, Machines2019: 60,
+		Horizon: 4 * sim.Hour, Warmup: sim.Hour, Seed: 7,
+	}
+	for _, par := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc.Parallelism = par
+				experiments.RunSuite(sc)
+			}
+		})
+	}
 }
 
 // BenchmarkSimulateCell measures end-to-end cell simulation throughput.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	borgexperiments [-scale small|default|large] [-seed N] [-o report.txt]
+//	borgexperiments [-scale small|default|large] [-seed N] [-parallel N] [-o report.txt]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -23,6 +24,7 @@ func main() {
 	log.SetPrefix("borgexperiments: ")
 	scaleName := flag.String("scale", "default", "simulation scale: small, default or large")
 	seed := flag.Uint64("seed", 1, "root random seed")
+	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
@@ -38,6 +40,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 	sc.Seed = *seed
+	sc.Parallelism = *parallel
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -53,6 +56,13 @@ func main() {
 	fmt.Fprintf(w, "Borg: the Next Generation — reproduction report\n")
 	fmt.Fprintf(w, "scale=%s machines2011=%d machines2019=%dx8 horizon=%v seed=%d\n\n",
 		sc.Name, sc.Machines2011, sc.Machines2019, sc.Horizon, sc.Seed)
+	if *parallel != 1 {
+		effective := sc.Parallelism
+		if effective <= 0 {
+			effective = runtime.GOMAXPROCS(0)
+		}
+		log.Printf("simulating 9 cells, parallelism=%d", effective)
+	}
 	suite := experiments.RunSuite(sc)
 	fmt.Fprintf(w, "simulated 9 cells in %v\n\n", time.Since(start).Round(time.Millisecond))
 	if err := suite.WriteReport(w); err != nil {

@@ -4,9 +4,45 @@
 // traces in the 2019 schema, plus the full analysis toolkit that
 // regenerates every table and figure of the paper.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for
-// paper-vs-measured results. The root-level benchmarks (bench_test.go)
-// regenerate each table and figure; cmd/borgexperiments prints the whole
-// evaluation.
+// # Architecture
+//
+// The system is layered, bottom to top:
+//
+//   - internal/sim — the discrete-event kernel: a virtual microsecond
+//     clock and a pooled event heap (events are slab-allocated and
+//     recycled; cancellation goes through generation-checked EventRef
+//     handles, so steady-state simulation does not allocate per event).
+//     One kernel drives exactly one cell and is single-threaded by design.
+//   - internal/rng, internal/dist — splittable deterministic randomness
+//     (xoshiro256**) and the calibrated parametric distributions drawn
+//     from it. All stochastic behavior flows through explicit sources, so
+//     a trace is a pure function of (profile, horizon, seed).
+//   - internal/cluster, internal/scheduler, internal/autopilot,
+//     internal/workload — the simulated cell: machines, the Borg
+//     scheduler (placement, preemption, batch queue), the vertical
+//     autoscaler, and the per-cell workload generator.
+//   - internal/trace — the 2019-schema data model and the streaming sink
+//     pipeline: rows flow through composable trace.Sink implementations
+//     (FanOut, BufferedSink batching, SyncSink for sinks shared across
+//     cells, CountingSink online reduction). Full in-memory retention
+//     (MemTrace) is just one sink and can be switched off per run.
+//   - internal/core — the single-cell façade: wires one cell's
+//     components and sink pipeline and runs it to the horizon.
+//   - internal/engine — multi-cell orchestration: runs N cell
+//     simulations concurrently on a bounded worker pool and streams
+//     results back in submission order. The engine owns the determinism
+//     contracts: per-cell seeds derive from the root seed via
+//     engine.DeriveSeed, per-cell collection-ID spaces are disjoint via
+//     engine.IDBase, and therefore the same root seed yields
+//     byte-identical traces at any parallelism.
+//   - internal/analysis, internal/report, internal/experiments — the
+//     evaluation: experiments.RunSuite simulates the paper's nine cells
+//     (2011 plus 2019 a–h) through the engine and regenerates every
+//     table and figure.
+//
+// The root-level benchmarks (bench_test.go) regenerate each table and
+// figure and measure the engine's parallel speedup; cmd/borgexperiments
+// prints the whole evaluation (-parallel N simulates N cells
+// concurrently without changing a byte of output). PAPER.md holds the
+// source paper's abstract and ROADMAP.md the project direction.
 package repro

@@ -2,17 +2,22 @@
 // (Figures 3/5/6, §4): each of the eight 2019 cells runs a different
 // workload mix — cell b is batch-heavy, cell a production-heavy, cell h
 // mid-tier-heavy — and machine utilization differs visibly between cells.
+// The cells simulate concurrently on the engine's worker pool; the
+// -parallel flag changes only how long that takes, never the numbers.
 //
-//	go run ./examples/multicell
+//	go run ./examples/multicell [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,22 +27,35 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs)")
+	flag.Parse()
+
 	const machines = 80
+	const rootSeed = 100
 	horizon := 8 * sim.Hour
 
 	cells := []string{"a", "b", "h"} // the paper's three named extremes
-	var averages []analysis.TierAverages
-	fmt.Println("simulating cells a (prod-heavy), b (beb-heavy), h (mid-heavy)...")
-	var traces []*trace.MemTrace
+	specs := make([]engine.Spec, len(cells))
 	for i, cell := range cells {
-		res := core.Run(workload.Profile2019(cell, machines), core.Options{
-			Horizon: horizon,
-			Seed:    uint64(100 + i),
-			IDBase:  trace.CollectionID(i) << 32,
-		})
-		traces = append(traces, res.Trace)
-		averages = append(averages, analysis.AverageUsageByTier(res.Trace, 3*sim.Hour))
+		specs[i] = engine.NewSpec(i, workload.Profile2019(cell, machines),
+			core.Options{Horizon: horizon}, rootSeed)
 	}
+
+	fmt.Printf("simulating cells a (prod-heavy), b (beb-heavy), h (mid-heavy), parallelism=%d...\n", *parallel)
+	start := time.Now()
+	var traces []*trace.MemTrace
+	var averages []analysis.TierAverages
+	// OnResult streams each cell's analysis in spec order while later
+	// cells may still be simulating.
+	engine.Run(specs, engine.Options{
+		Parallelism: *parallel,
+		OnResult: func(i int, res *core.CellResult) {
+			traces = append(traces, res.Trace)
+			averages = append(averages, analysis.AverageUsageByTier(res.Trace, 3*sim.Hour))
+			fmt.Printf("  cell %s done: %d trace rows\n", cells[i], res.Rows.Total())
+		},
+	})
+	fmt.Printf("simulated %d cells in %v\n", len(cells), time.Since(start).Round(time.Millisecond))
 
 	if err := report.TierAveragesTable(os.Stdout,
 		"\naverage CPU usage by tier (fraction of cell capacity, Figure 3)",

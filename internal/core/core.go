@@ -39,8 +39,15 @@ type Options struct {
 	// records (costly; off by default).
 	Histograms bool
 	// ExtraSinks receive every trace row in addition to the in-memory
-	// store (e.g. streaming analyzers).
+	// store (e.g. streaming analyzers). Wrap a shared sink in
+	// trace.NewSyncSink when the same instance also receives rows from
+	// other concurrently simulated cells.
 	ExtraSinks []trace.Sink
+	// NoMemTrace disables full in-memory trace retention: rows stream
+	// only to ExtraSinks (and the row counter) and CellResult.Trace is
+	// nil. Use for online-analysis or throughput runs where buffering a
+	// whole cell-month of rows is waste.
+	NoMemTrace bool
 	// IDBase offsets collection IDs so multi-cell runs have disjoint ID
 	// spaces.
 	IDBase trace.CollectionID
@@ -52,8 +59,12 @@ type Options struct {
 // CellResult is the outcome of one simulated cell.
 type CellResult struct {
 	Profile *workload.CellProfile
-	Trace   *trace.MemTrace
-	Sched   scheduler.Stats
+	// Trace is the retained in-memory trace, nil when Options.NoMemTrace
+	// was set.
+	Trace *trace.MemTrace
+	Sched scheduler.Stats
+	// Rows counts every row emitted, whether or not it was retained.
+	Rows trace.RowCounts
 	// AutopilotUpdates counts limit adjustments issued.
 	AutopilotUpdates int
 }
@@ -66,18 +77,24 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	root := rng.New(opts.Seed)
 	k := sim.NewKernel()
 
-	mem := trace.NewMemTrace(trace.Meta{
-		Era:      p.Era,
-		Cell:     p.Name,
-		Duration: opts.Horizon,
-		Machines: p.Machines,
-		Seed:     opts.Seed,
-	})
-	var sink trace.Sink = mem
-	if len(opts.ExtraSinks) > 0 {
-		all := append([]trace.Sink{mem}, opts.ExtraSinks...)
-		sink = trace.MultiSink(all)
+	var mem *trace.MemTrace
+	if !opts.NoMemTrace {
+		mem = trace.NewMemTrace(trace.Meta{
+			Era:      p.Era,
+			Cell:     p.Name,
+			Duration: opts.Horizon,
+			Machines: p.Machines,
+			Seed:     opts.Seed,
+		})
 	}
+	counter := &trace.CountingSink{}
+	parts := make([]trace.Sink, 0, 2+len(opts.ExtraSinks))
+	if mem != nil {
+		parts = append(parts, mem)
+	}
+	parts = append(parts, counter)
+	parts = append(parts, opts.ExtraSinks...)
+	sink := trace.FanOut(parts...)
 
 	// Build the cell and announce its machines.
 	cell := cluster.BuildCell(p.Name, p.Machines, p.Shapes, root.Split("machines"))
@@ -157,8 +174,9 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	})
 
 	k.RunUntil(opts.Horizon)
+	trace.Flush(sink)
 
-	res := &CellResult{Profile: p, Trace: mem, Sched: sched.Stats()}
+	res := &CellResult{Profile: p, Trace: mem, Sched: sched.Stats(), Rows: counter.Counts()}
 	if ap != nil {
 		res.AutopilotUpdates = ap.Updates()
 	}

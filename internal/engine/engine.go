@@ -1,0 +1,154 @@
+// Package engine orchestrates multi-cell simulation runs: it executes N
+// independent cell simulations (core.Run) concurrently on a bounded worker
+// pool and streams their results back in submission order. The paper
+// analyzes eight 2019 cells plus the 2011 cell; the engine is the layer
+// that makes that suite — and larger parameter sweeps — scale with the
+// hardware instead of running one cell at a time.
+//
+// # Determinism contract
+//
+// A cell simulation is a pure function of (profile, horizon, seed): each
+// cell owns its private kernel and rng streams, so parallelism changes
+// only wall-clock time, never a single trace row. The engine makes the
+// two conventions that guarantee cross-cell independence explicit instead
+// of caller folklore:
+//
+//   - Seeds: cell i of a run rooted at seed R simulates with
+//     DeriveSeed(R, i), a splitmix64-finalized mix. Same root ⇒ same
+//     per-cell seeds ⇒ byte-identical traces at any Parallelism.
+//   - ID spaces: cell i offsets its collection IDs by IDBase(i), giving
+//     every cell a disjoint 2³² ID range so merged traces never collide.
+//
+// Sinks are per-cell and driven by that cell's goroutine; a sink shared
+// across specs must be wrapped in trace.NewSyncSink by the caller.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Spec is one cell simulation in a multi-cell run. Cells are identified
+// by spec index in results and by Profile.Name in traces.
+type Spec struct {
+	Profile *workload.CellProfile
+	Options core.Options
+}
+
+// Options configures the run.
+type Options struct {
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS. It has
+	// no effect on simulation output, only on wall-clock time.
+	Parallelism int
+	// OnResult, when set, is invoked once per cell in spec order (index
+	// 0, 1, 2, ...) as results become available, enabling streaming
+	// consumption ahead of Run returning. Calls are serialized; a slow
+	// callback backpressures result delivery but not simulation.
+	OnResult func(index int, res *core.CellResult)
+}
+
+// DeriveSeed maps a run's root seed and a cell index to the cell's
+// simulation seed. It is the engine's published seed-splitting contract:
+// stable across releases, collision-resistant across indices, and
+// independent of execution order.
+func DeriveSeed(root uint64, cell int) uint64 {
+	x := root + 0x9e3779b97f4a7c15*uint64(cell+1)
+	// splitmix64 finalizer, as in internal/rng.
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// IDBase returns cell i's collection-ID offset: disjoint 2³² ranges so a
+// merged multi-cell trace has globally unique collection IDs.
+func IDBase(cell int) trace.CollectionID {
+	return trace.CollectionID(cell) << 32
+}
+
+// NewSpec builds the spec for cell index i of a run rooted at seed root,
+// applying the engine's seed and ID-space contracts to base options.
+func NewSpec(i int, p *workload.CellProfile, base core.Options, root uint64) Spec {
+	base.Seed = DeriveSeed(root, i)
+	base.IDBase = IDBase(i)
+	return Spec{Profile: p, Options: base}
+}
+
+// Run simulates every spec and returns results indexed like specs. With
+// Parallelism > 1 the cells run concurrently; results (and OnResult
+// callbacks) are still delivered in spec order.
+func Run(specs []Spec, opts Options) []*core.CellResult {
+	n := len(specs)
+	results := make([]*core.CellResult, n)
+	if n == 0 {
+		return results
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+
+	if par == 1 {
+		for i := range specs {
+			results[i] = core.Run(specs[i].Profile, specs[i].Options)
+			if opts.OnResult != nil {
+				opts.OnResult(i, results[i])
+			}
+		}
+		return results
+	}
+
+	var (
+		mu         sync.Mutex
+		next       int  // first index not yet delivered to OnResult
+		delivering bool // a worker is draining callbacks outside the lock
+	)
+	// deliver records a finished cell and drains in-order OnResult
+	// callbacks. Callbacks run outside the mutex so a slow consumer
+	// stalls only the one worker currently delivering, never the pool:
+	// other workers store their result and go back to simulating.
+	deliver := func(i int, res *core.CellResult) {
+		mu.Lock()
+		results[i] = res
+		if delivering {
+			mu.Unlock()
+			return
+		}
+		delivering = true
+		for next < n && results[next] != nil {
+			idx, r := next, results[next]
+			next++
+			mu.Unlock()
+			if opts.OnResult != nil {
+				opts.OnResult(idx, r)
+			}
+			mu.Lock()
+		}
+		delivering = false
+		mu.Unlock()
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				deliver(i, core.Run(specs[i].Profile, specs[i].Options))
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

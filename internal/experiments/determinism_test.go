@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSuiteDeterministicAcrossParallelism is the engine's acceptance
+// gate: the small-scale suite at parallelism 8 must produce the same
+// trace rows and the same report bytes as at parallelism 1.
+func TestSuiteDeterministicAcrossParallelism(t *testing.T) {
+	sc := SmallScale()
+	sc.Parallelism = 1
+	serial := RunSuite(sc)
+	sc.Parallelism = 8
+	parallel := RunSuite(sc)
+
+	check := func(cell string, a, b *trace.MemTrace) {
+		t.Helper()
+		if !reflect.DeepEqual(a.CollectionEvents, b.CollectionEvents) {
+			t.Fatalf("cell %s: collection event streams differ", cell)
+		}
+		if !reflect.DeepEqual(a.InstanceEvents, b.InstanceEvents) {
+			t.Fatalf("cell %s: instance event streams differ", cell)
+		}
+		if !reflect.DeepEqual(a.UsageRecords, b.UsageRecords) {
+			t.Fatalf("cell %s: usage record streams differ", cell)
+		}
+		if !reflect.DeepEqual(a.MachineEvents, b.MachineEvents) {
+			t.Fatalf("cell %s: machine event streams differ", cell)
+		}
+	}
+	check("2011", serial.T2011, parallel.T2011)
+	for i := range serial.T2019 {
+		check(serial.T2019[i].Meta.Cell, serial.T2019[i], parallel.T2019[i])
+	}
+
+	var serialReport, parallelReport bytes.Buffer
+	if err := serial.WriteReport(&serialReport); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteReport(&parallelReport); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialReport.Bytes(), parallelReport.Bytes()) {
+		t.Fatal("WriteReport bytes differ between parallelism 1 and 8")
+	}
+	if serialReport.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

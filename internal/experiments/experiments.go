@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -29,6 +30,10 @@ type Scale struct {
 	Horizon      sim.Time
 	Warmup       sim.Time // excluded from time-averaged figures
 	Seed         uint64
+	// Parallelism bounds how many cells simulate concurrently (engine
+	// worker pool); <= 0 means GOMAXPROCS. Output is identical at every
+	// setting — per-cell seeds derive from Seed via engine.DeriveSeed.
+	Parallelism int
 }
 
 // SmallScale is quick enough for tests and benchmarks.
@@ -57,20 +62,27 @@ type Suite struct {
 	Stats []core.CellResult
 }
 
-// RunSuite simulates the 2011 cell and the eight 2019 cells.
+// SuiteSpecs builds the suite's nine cell specs — the 2011 cell at index
+// 0, then the eight 2019 cells a–h — with seeds and ID spaces assigned
+// per the engine contracts.
+func SuiteSpecs(sc Scale) []engine.Spec {
+	base := core.Options{Horizon: sc.Horizon}
+	specs := make([]engine.Spec, 0, 9)
+	specs = append(specs, engine.NewSpec(0, workload.Profile2011(sc.Machines2011), base, sc.Seed))
+	for i, cell := range workload.Cells2019() {
+		specs = append(specs, engine.NewSpec(i+1, workload.Profile2019(cell, sc.Machines2019), base, sc.Seed))
+	}
+	return specs
+}
+
+// RunSuite simulates the 2011 cell and the eight 2019 cells, sc.Parallelism
+// cells at a time.
 func RunSuite(sc Scale) *Suite {
 	s := &Suite{Scale: sc}
-	r11 := core.Run(workload.Profile2011(sc.Machines2011), core.Options{
-		Horizon: sc.Horizon, Seed: sc.Seed,
-	})
-	s.T2011 = r11.Trace
-	s.Stats = append(s.Stats, *r11)
-	for i, cell := range workload.Cells2019() {
-		r := core.Run(workload.Profile2019(cell, sc.Machines2019), core.Options{
-			Horizon: sc.Horizon,
-			Seed:    sc.Seed + uint64(i) + 1,
-			IDBase:  trace.CollectionID(i+1) << 32,
-		})
+	results := engine.Run(SuiteSpecs(sc), engine.Options{Parallelism: sc.Parallelism})
+	s.T2011 = results[0].Trace
+	s.Stats = append(s.Stats, *results[0])
+	for _, r := range results[1:] {
 		s.T2019 = append(s.T2019, r.Trace)
 		s.Stats = append(s.Stats, *r)
 	}

@@ -166,7 +166,7 @@ func (s *Scheduler) startRunning(t *Task, m trace.MachineID) {
 // a scripted crash-restart or final termination.
 func (s *Scheduler) segmentEnd(t *Task) {
 	now := s.k.Now()
-	t.endEvent = nil
+	t.endEvent = sim.EventRef{}
 	ran := now - t.runStart
 	t.remaining -= ran
 	if t.remaining < 0 {
@@ -214,10 +214,8 @@ func (s *Scheduler) terminateJob(j *Job, final trace.EventType) {
 	}
 	j.State = JobDone
 	j.FinalType = final
-	if j.killEvent != nil {
-		s.k.Cancel(j.killEvent)
-		j.killEvent = nil
-	}
+	s.k.Cancel(j.killEvent)
+	j.killEvent = sim.EventRef{}
 	s.emitCollection(j, final)
 
 	// Alloc set teardown: kill the jobs still running inside it.
@@ -243,18 +241,14 @@ func (s *Scheduler) KillJob(j *Job, final trace.EventType) {
 	for _, t := range j.Tasks {
 		switch t.State {
 		case TaskRunning:
-			if t.endEvent != nil {
-				s.k.Cancel(t.endEvent)
-				t.endEvent = nil
-			}
+			s.k.Cancel(t.endEvent)
+			t.endEvent = sim.EventRef{}
 			s.unplace(t, true)
 			t.State = TaskDead
 			s.emitInstance(t, final, now)
 		case TaskPending, TaskWaiting:
-			if t.retryEvent != nil {
-				s.k.Cancel(t.retryEvent)
-				t.retryEvent = nil
-			}
+			s.k.Cancel(t.retryEvent)
+			t.retryEvent = sim.EventRef{}
 			t.State = TaskDead
 			s.emitInstance(t, final, now)
 		}
@@ -301,10 +295,8 @@ func (s *Scheduler) Evict(t *Task) {
 		return
 	}
 	now := s.k.Now()
-	if t.endEvent != nil {
-		s.k.Cancel(t.endEvent)
-		t.endEvent = nil
-	}
+	s.k.Cancel(t.endEvent)
+	t.endEvent = sim.EventRef{}
 	ran := now - t.runStart
 	t.remaining -= ran
 	if t.remaining < 0 {
@@ -334,7 +326,7 @@ func (s *Scheduler) requeueAfter(t *Task, delay sim.Time) {
 	t.Reschedules++
 	s.emitInstance(t, trace.EventSubmit, s.k.Now())
 	t.retryEvent = s.k.After(delay, func(sim.Time) {
-		t.retryEvent = nil
+		t.retryEvent = sim.EventRef{}
 		if t.Job.State == JobDone || t.State != TaskWaiting {
 			return
 		}
@@ -405,10 +397,8 @@ func (s *Scheduler) failOverLimit(t *Task) {
 		return
 	}
 	now := s.k.Now()
-	if t.endEvent != nil {
-		s.k.Cancel(t.endEvent)
-		t.endEvent = nil
-	}
+	s.k.Cancel(t.endEvent)
+	t.endEvent = sim.EventRef{}
 	ran := now - t.runStart
 	t.remaining -= ran
 	if t.remaining < 0 {

@@ -231,7 +231,7 @@ func (s *Scheduler) retryLater(t *Task) {
 	s.stats.PlacementRetries++
 	t.State = TaskWaiting
 	t.retryEvent = s.k.After(s.cfg.RetryBackoff, func(sim.Time) {
-		t.retryEvent = nil
+		t.retryEvent = sim.EventRef{}
 		if t.Job.State == JobDone || t.State != TaskWaiting {
 			return
 		}

@@ -186,8 +186,8 @@ type Task struct {
 	remaining   sim.Time
 	segment     sim.Time // remaining time in the current segment plan
 	runStart    sim.Time
-	endEvent    *sim.Event
-	retryEvent  *sim.Event
+	endEvent    sim.EventRef
+	retryEvent  sim.EventRef
 	enqueueSeq  uint64
 	submitted   bool // first instance SUBMIT emitted
 	Reschedules int  // SUBMIT events beyond the first
@@ -235,7 +235,7 @@ type Job struct {
 	FinalType trace.EventType // termination event emitted, EventSubmit if still open
 
 	liveTasks int
-	killEvent *sim.Event
+	killEvent sim.EventRef
 }
 
 // NewJob constructs a job with sensible zero-state bookkeeping.

@@ -1,7 +1,14 @@
 // Package sim provides the discrete-event simulation kernel that drives the
 // Borg cell reproduction: a virtual clock in microseconds (the trace's time
-// unit), a priority event queue, and helpers for periodic processes such as
-// the 5-minute usage sampler.
+// unit), a pooled priority event queue, and helpers for periodic processes
+// such as the 5-minute usage sampler.
+//
+// Event records live in a slab owned by the kernel and are recycled after
+// they fire or are canceled, so steady-state simulation does not allocate
+// per event. Callers hold EventRef handles — small (slot, generation)
+// values that become harmless no-ops once the underlying record has been
+// recycled, which makes "cancel the end-of-run timer that may already have
+// fired" safe without any bookkeeping on the caller's side.
 package sim
 
 import (
@@ -57,57 +64,37 @@ func (t Time) String() string {
 	return fmt.Sprintf("%s%d.%02d:%02d:%02d.%03d", neg, d, h, m, s, ms)
 }
 
-// Event is a scheduled callback. Fire runs at the event's due time.
-type Event struct {
-	due      Time
-	seq      uint64 // tie-break: FIFO among equal times
-	index    int    // heap index, -1 when not queued
-	canceled bool
-	fire     func(now Time)
+// EventRef is a handle to a scheduled event. The zero value refers to
+// nothing: canceling it is a no-op and Scheduled reports false. A ref goes
+// stale the moment its event fires or is canceled; stale refs are equally
+// inert, so callers can keep them around without caring which happened.
+type EventRef struct {
+	slot uint32
+	gen  uint32
 }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// IsZero reports whether the ref was never assigned a scheduled event.
+func (r EventRef) IsZero() bool { return r.gen == 0 }
 
-// Due returns the time the event is scheduled for.
-func (e *Event) Due() Time { return e.due }
-
-// eventHeap orders events by (due, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].due != h[j].due {
-		return h[i].due < h[j].due
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// eventSlot is one pooled event record in the kernel's slab.
+type eventSlot struct {
+	due  Time
+	seq  uint64 // tie-break: FIFO among equal times
+	gen  uint32 // bumped on every recycle; stale EventRefs mismatch
+	pos  int32  // index into Kernel.order, -1 when not queued
+	fire func(now Time)
 }
 
 // Kernel is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; the simulation model is deterministic and sequential by
-// design (randomness is injected via rng streams).
+// design (randomness is injected via rng streams), and multi-cell
+// parallelism lives a layer up, in internal/engine, with one kernel per
+// cell.
 type Kernel struct {
 	now    Time
-	queue  eventHeap
+	slots  []eventSlot
+	free   []uint32 // recycled slot ids
+	order  []uint32 // slot ids, heap-ordered by (due, seq)
 	seq    uint64
 	events uint64 // fired events, for stats
 }
@@ -124,72 +111,132 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Fired() uint64 { return k.events }
 
 // Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.order) }
+
+// PoolSize returns the slab size: the high-water mark of simultaneously
+// scheduled events, for capacity diagnostics.
+func (k *Kernel) PoolSize() int { return len(k.slots) }
+
+// Scheduled reports whether the ref's event is still queued (not yet
+// fired, not canceled).
+func (k *Kernel) Scheduled(r EventRef) bool {
+	return !r.IsZero() && int(r.slot) < len(k.slots) &&
+		k.slots[r.slot].gen == r.gen && k.slots[r.slot].pos >= 0
+}
+
+// alloc takes a slot from the freelist (or grows the slab) and stamps a
+// fresh generation.
+func (k *Kernel) alloc() uint32 {
+	var id uint32
+	if n := len(k.free); n > 0 {
+		id = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, eventSlot{})
+		id = uint32(len(k.slots) - 1)
+	}
+	k.slots[id].gen++
+	return id
+}
+
+// release invalidates all outstanding refs to the slot and returns it to
+// the pool.
+func (k *Kernel) release(id uint32) {
+	s := &k.slots[id]
+	s.gen++
+	s.pos = -1
+	s.fire = nil
+	k.free = append(k.free, id)
+}
+
+// heapOrder implements container/heap over the kernel's order slice,
+// keeping each slot's pos index in sync so Cancel can remove mid-heap
+// entries in O(log n).
+type heapOrder Kernel
+
+func (h *heapOrder) Len() int { return len(h.order) }
+func (h *heapOrder) Less(i, j int) bool {
+	a, b := &h.slots[h.order[i]], &h.slots[h.order[j]]
+	if a.due != b.due {
+		return a.due < b.due
+	}
+	return a.seq < b.seq
+}
+func (h *heapOrder) Swap(i, j int) {
+	h.order[i], h.order[j] = h.order[j], h.order[i]
+	h.slots[h.order[i]].pos = int32(i)
+	h.slots[h.order[j]].pos = int32(j)
+}
+func (h *heapOrder) Push(x any) {
+	id := x.(uint32)
+	h.slots[id].pos = int32(len(h.order))
+	h.order = append(h.order, id)
+}
+func (h *heapOrder) Pop() any {
+	n := len(h.order)
+	id := h.order[n-1]
+	h.order = h.order[:n-1]
+	h.slots[id].pos = -1
+	return id
+}
 
 // At schedules fire to run at the absolute time due. Scheduling in the past
 // panics: it would silently corrupt causality.
-func (k *Kernel) At(due Time, fire func(now Time)) *Event {
+func (k *Kernel) At(due Time, fire func(now Time)) EventRef {
 	if due < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", due, k.now))
 	}
-	e := &Event{due: due, seq: k.seq, fire: fire}
+	id := k.alloc()
+	s := &k.slots[id]
+	s.due = due
+	s.seq = k.seq
+	s.fire = fire
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	heap.Push((*heapOrder)(k), id)
+	return EventRef{slot: id, gen: s.gen}
 }
 
 // After schedules fire to run delay after the current time.
-func (k *Kernel) After(delay Time, fire func(now Time)) *Event {
+func (k *Kernel) After(delay Time, fire func(now Time)) EventRef {
 	if delay < 0 {
 		delay = 0
 	}
 	return k.At(k.now+delay, fire)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+// Cancel removes a pending event. Canceling a zero, already-fired, or
+// already-canceled ref is a no-op.
+func (k *Kernel) Cancel(r EventRef) {
+	if !k.Scheduled(r) {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&k.queue, e.index)
-	e.index = -1
+	heap.Remove((*heapOrder)(k), int(k.slots[r.slot].pos))
+	k.release(r.slot)
 }
 
 // Step fires the next event, advancing the clock. It returns false when the
 // queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		k.now = e.due
-		k.events++
-		e.fire(k.now)
-		return true
+	if len(k.order) == 0 {
+		return false
 	}
-	return false
+	id := heap.Pop((*heapOrder)(k)).(uint32)
+	s := &k.slots[id]
+	k.now = s.due
+	k.events++
+	fire := s.fire
+	// Recycle before firing so a callback canceling its own ref (or
+	// scheduling into the freed slot) behaves.
+	k.release(id)
+	fire(k.now)
+	return true
 }
 
 // RunUntil fires events until the queue is drained or the next event is
 // later than end; the clock is then advanced to end. Events scheduled by
 // callbacks during the run are honored.
 func (k *Kernel) RunUntil(end Time) {
-	for len(k.queue) > 0 {
-		// Peek.
-		next := k.queue[0]
-		if next.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		if next.due > end {
-			break
-		}
+	for len(k.order) > 0 && k.slots[k.order[0]].due <= end {
 		k.Step()
 	}
 	if k.now < end {
@@ -213,7 +260,7 @@ func (k *Kernel) Every(start, period, end Time, fire func(now Time)) (stop func(
 	}
 	stopped := false
 	var tick func(now Time)
-	var pending *Event
+	var pending EventRef
 	tick = func(now Time) {
 		if stopped {
 			return
@@ -230,8 +277,6 @@ func (k *Kernel) Every(start, period, end Time, fire func(now Time)) (stop func(
 	}
 	return func() {
 		stopped = true
-		if pending != nil {
-			k.Cancel(pending)
-		}
+		k.Cancel(pending)
 	}
 }

@@ -77,28 +77,90 @@ func TestCancel(t *testing.T) {
 	k := NewKernel()
 	fired := false
 	e := k.At(10, func(Time) { fired = true })
+	if !k.Scheduled(e) {
+		t.Fatal("event not scheduled")
+	}
 	k.Cancel(e)
 	k.Run()
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !e.Canceled() {
-		t.Fatal("event not marked canceled")
+	if k.Scheduled(e) {
+		t.Fatal("event still scheduled after cancel")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-ref cancel are no-ops.
 	k.Cancel(e)
-	k.Cancel(nil)
+	k.Cancel(EventRef{})
 }
 
 func TestCancelDuringRun(t *testing.T) {
 	k := NewKernel()
 	fired := false
-	var e2 *Event
+	var e2 EventRef
 	k.At(1, func(Time) { k.Cancel(e2) })
 	e2 = k.At(2, func(Time) { fired = true })
 	k.Run()
 	if fired {
 		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestEventPoolReuse(t *testing.T) {
+	k := NewKernel()
+	// Sequential schedule/fire cycles must recycle the same slot instead
+	// of growing the slab.
+	for i := 0; i < 1000; i++ {
+		k.After(1, func(Time) {})
+		k.Step()
+	}
+	if k.PoolSize() > 2 {
+		t.Fatalf("pool grew to %d slots for sequential events", k.PoolSize())
+	}
+}
+
+func TestStaleRefCannotCancelRecycledSlot(t *testing.T) {
+	k := NewKernel()
+	stale := k.At(1, func(Time) {})
+	k.Step() // fires and recycles the slot
+	if k.Scheduled(stale) {
+		t.Fatal("fired event still scheduled")
+	}
+	// The next event reuses the slot; the stale ref must not touch it.
+	fired := false
+	fresh := k.At(2, func(Time) { fired = true })
+	k.Cancel(stale)
+	if !k.Scheduled(fresh) {
+		t.Fatal("stale cancel removed the slot's new occupant")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestSelfCancelInCallbackIsNoop(t *testing.T) {
+	k := NewKernel()
+	var self EventRef
+	self = k.At(5, func(Time) { k.Cancel(self) })
+	followUp := false
+	k.At(6, func(Time) { followUp = true })
+	k.Run()
+	if !followUp {
+		t.Fatal("self-cancel disturbed the queue")
+	}
+}
+
+func TestZeroRef(t *testing.T) {
+	var r EventRef
+	if !r.IsZero() {
+		t.Fatal("zero value not IsZero")
+	}
+	k := NewKernel()
+	if k.Scheduled(r) {
+		t.Fatal("zero ref scheduled")
+	}
+	if e := k.At(1, func(Time) {}); e.IsZero() {
+		t.Fatal("live ref reports IsZero")
 	}
 }
 
