@@ -252,6 +252,21 @@ func BenchmarkSuiteParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeCellSuite runs the nine-cell suite at a placement-heavy
+// scale (larger cells, more residents per machine) with full parallelism
+// and no trace retention: it is the macro benchmark for the scheduler
+// placement fast path, tracked in BENCH_PR3.json.
+func BenchmarkLargeCellSuite(b *testing.B) {
+	sc := experiments.Scale{
+		Name: "large-bench", Machines2011: 240, Machines2019: 200,
+		Horizon: 6 * sim.Hour, Warmup: 2 * sim.Hour, Seed: 11,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunSuite(sc)
+	}
+}
+
 // BenchmarkSimulateCell measures end-to-end cell simulation throughput.
 func BenchmarkSimulateCell(b *testing.B) {
 	p := workload.Profile2019("a", 60)

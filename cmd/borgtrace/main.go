@@ -3,6 +3,14 @@
 // machine_events) plus meta.json — the reproduction's analogue of
 // downloading one cell of the published trace.
 //
+// Large -machines counts are practical because placement cost does not
+// grow with cell occupancy: the scheduler's fast path (incremental
+// machine aggregates plus equivalence-class score caching, see the
+// package docs) keeps each placement attempt allocation-free and O(1)
+// per candidate. For a given build, the trace for a given (era, cell,
+// machines, hours, seed) tuple is byte-stable; traces are not promised
+// stable across versions of the simulator.
+//
 // Usage:
 //
 //	borgtrace -era 2019 -cell b -machines 300 -hours 24 -seed 7 -out ./trace-b

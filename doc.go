@@ -40,6 +40,27 @@
 //     (2011 plus 2019 a–h) through the engine and regenerates every
 //     table and figure.
 //
+// # Placement fast path
+//
+// The scheduler reproduces the 2015-era Borg throughput machinery the
+// paper credits (score caching, equivalence classes): machines maintain
+// their usage total, allocation, victim order and overcommit ceiling
+// incrementally, so a placement attempt reads O(1) aggregates instead of
+// rescanning residents; tasks are bucketed into equivalence classes
+// (request shape × tier × priority band) and each machine memoizes its
+// score for the last class that probed it, invalidated by a per-machine
+// generation counter bumped on every place/remove/limit/usage mutation.
+// Resident records and kernel callbacks are pooled, so steady-state
+// placement performs zero heap allocations (guarded by an
+// AllocsPerRun test in CI). The caches are pure memoization under a hard
+// determinism constraint: every cached value is bit-identical to
+// recomputation and the candidate RNG draw sequence is unchanged by
+// caching, so for a given build the same seed yields byte-identical
+// traces at any parallelism. Traces are stable per build, not across
+// versions: an optimization that reorders floating-point sums or random
+// draws (as the fast path did) legitimately shifts same-seed
+// trajectories relative to earlier commits.
+//
 // The root-level benchmarks (bench_test.go) regenerate each table and
 // figure and measure the engine's parallel speedup; cmd/borgexperiments
 // prints the whole evaluation (-parallel N simulates N cells

@@ -170,7 +170,7 @@ func (a *Autopilot) Observe(now sim.Time, t *scheduler.Task, peakUsage trace.Res
 	if t.Machine != 0 && t.AllocInstance.Collection == 0 {
 		m := a.cell.Machine(t.Machine)
 		if m != nil {
-			ceiling := a.cfg.Overcommit.AllocationCeiling(m.Capacity)
+			ceiling := m.Ceiling(a.cfg.Overcommit)
 			head := ceiling.Sub(m.Allocated()).Add(cur)
 			if rec.CPU > head.CPU {
 				rec.CPU = head.CPU

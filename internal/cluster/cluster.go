@@ -71,20 +71,44 @@ type Resident struct {
 	Priority int
 	Tier     trace.Tier
 	// Usage is the most recent sampled usage; updated by the usage model
-	// each sampling window.
+	// each sampling window. While a resident is placed, writes must go
+	// through Machine.SetUsage so the machine's incremental usage
+	// aggregate stays consistent.
 	Usage trace.Resources
 }
 
 // Machine is one node of the cell with capacity, allocation, and resident
 // accounting. All mutation goes through the Cell so that cell-level
-// aggregates stay consistent.
+// aggregates stay consistent. Allocation, usage, victim order and the
+// overcommit ceiling are maintained incrementally: the placement fast
+// path reads them in O(1) instead of rescanning residents.
 type Machine struct {
 	ID       trace.MachineID
 	Capacity trace.Resources
 	Platform string
 
-	allocated trace.Resources
-	residents map[trace.InstanceKey]*Resident
+	allocated  trace.Resources
+	usageTotal trace.Resources
+	residents  map[trace.InstanceKey]*Resident
+
+	// gen counts state mutations (place, remove, limit update, usage
+	// sample). The scheduler's score cache keys on it: an unchanged gen
+	// guarantees every input to a machine's placement score is unchanged,
+	// so memoized scores are exact, never approximations.
+	gen uint64
+
+	// victims caches the (priority asc, key asc) resident ordering and is
+	// repaired lazily: membership mutations only mark it dirty, and the
+	// next Residents call rebuilds it into a fresh slice. Slices already
+	// handed out stay valid as stable snapshots.
+	victims      []*Resident
+	victimsDirty bool
+
+	// ceil memoizes the allocation ceiling for ceilPolicy; recomputed
+	// only when the policy changes (capacity is immutable after AddMachine).
+	ceil       trace.Resources
+	ceilPolicy OvercommitPolicy
+	ceilValid  bool
 }
 
 // Allocated returns the summed limits of residents.
@@ -93,23 +117,37 @@ func (m *Machine) Allocated() trace.Resources { return m.allocated }
 // NumResidents returns the number of placed instances.
 func (m *Machine) NumResidents() int { return len(m.residents) }
 
+// Gen returns the machine's mutation generation. Any change to the
+// machine's allocation, residents, limits or sampled usage bumps it.
+func (m *Machine) Gen() uint64 { return m.gen }
+
 // Residents returns the resident list sorted by (priority asc, key) —
-// i.e. preemption-victim order first.
+// i.e. preemption-victim order first. The slice is a cached snapshot:
+// callers must not modify it, and it is structurally stable (it is
+// replaced, not rewritten, on the next mutation), so evicting while
+// iterating is safe — but entries removed from the machine belong to
+// the remover afterwards (the scheduler recycles them), so a snapshot
+// must not be retained across scheduling events nor its removed entries
+// dereferenced.
 func (m *Machine) Residents() []*Resident {
-	out := make([]*Resident, 0, len(m.residents))
-	for _, r := range m.residents {
-		out = append(out, r)
+	if m.victimsDirty {
+		out := make([]*Resident, 0, len(m.residents))
+		for _, r := range m.residents {
+			out = append(out, r)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Priority != out[j].Priority {
+				return out[i].Priority < out[j].Priority
+			}
+			if out[i].Key.Collection != out[j].Key.Collection {
+				return out[i].Key.Collection < out[j].Key.Collection
+			}
+			return out[i].Key.Index < out[j].Key.Index
+		})
+		m.victims = out
+		m.victimsDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Priority != out[j].Priority {
-			return out[i].Priority < out[j].Priority
-		}
-		if out[i].Key.Collection != out[j].Key.Collection {
-			return out[i].Key.Collection < out[j].Key.Collection
-		}
-		return out[i].Key.Index < out[j].Key.Index
-	})
-	return out
+	return m.victims
 }
 
 // Resident returns the resident with the given key, or nil.
@@ -117,13 +155,52 @@ func (m *Machine) Resident(key trace.InstanceKey) *Resident {
 	return m.residents[key]
 }
 
-// UsageTotal sums the last-sampled usage of all residents.
-func (m *Machine) UsageTotal() trace.Resources {
-	var sum trace.Resources
-	for _, r := range m.residents {
-		sum = sum.Add(r.Usage)
+// UsageTotal returns the summed last-sampled usage of all residents,
+// maintained incrementally by Place/Remove/SetUsage.
+func (m *Machine) UsageTotal() trace.Resources { return m.usageTotal }
+
+// SetUsage records a resident's sampled usage, keeping the machine's
+// usage aggregate consistent. It reports whether the resident exists.
+func (m *Machine) SetUsage(key trace.InstanceKey, usage trace.Resources) bool {
+	r := m.residents[key]
+	if r == nil {
+		return false
 	}
-	return sum
+	m.usageTotal = m.usageTotal.Sub(r.Usage).Add(usage)
+	m.clampAggregates()
+	r.Usage = usage
+	m.gen++
+	return true
+}
+
+// mutated records a resident-set mutation: the victim order needs repair
+// and cached scores are stale.
+func (m *Machine) mutated() {
+	m.victimsDirty = true
+	m.gen++
+}
+
+// clampAggregates zeroes numeric drift so long simulations cannot
+// accumulate negative aggregates; with no residents the aggregates are
+// reset to exactly zero.
+func (m *Machine) clampAggregates() {
+	if len(m.residents) == 0 {
+		m.allocated = trace.Resources{}
+		m.usageTotal = trace.Resources{}
+		return
+	}
+	if m.allocated.CPU < 0 {
+		m.allocated.CPU = 0
+	}
+	if m.allocated.Mem < 0 {
+		m.allocated.Mem = 0
+	}
+	if m.usageTotal.CPU < 0 {
+		m.usageTotal.CPU = 0
+	}
+	if m.usageTotal.Mem < 0 {
+		m.usageTotal.Mem = 0
+	}
 }
 
 // OvercommitPolicy bounds the ratio of summed limits to capacity per
@@ -142,10 +219,21 @@ func (p OvercommitPolicy) AllocationCeiling(capacity trace.Resources) trace.Reso
 	}
 }
 
+// Ceiling returns the machine's allocation ceiling under the policy,
+// memoized until the policy changes.
+func (m *Machine) Ceiling(policy OvercommitPolicy) trace.Resources {
+	if !m.ceilValid || policy != m.ceilPolicy {
+		m.ceil = policy.AllocationCeiling(m.Capacity)
+		m.ceilPolicy = policy
+		m.ceilValid = true
+	}
+	return m.ceil
+}
+
 // FitsLimit reports whether a request fits on m under the overcommit
 // policy, considering current allocation.
 func (m *Machine) FitsLimit(request trace.Resources, policy OvercommitPolicy) bool {
-	ceiling := policy.AllocationCeiling(m.Capacity)
+	ceiling := m.Ceiling(policy)
 	after := m.allocated.Add(request)
 	return after.CPU <= ceiling.CPU+1e-12 && after.Mem <= ceiling.Mem+1e-12
 }
@@ -196,11 +284,11 @@ func (c *Cell) RemoveMachine(id trace.MachineID) []*Resident {
 		c.Remove(id, r.Key)
 	}
 	delete(c.machines, id)
-	for i, mid := range c.ids {
-		if mid == id {
-			c.ids = append(c.ids[:i], c.ids[i+1:]...)
-			break
-		}
+	// ids is sorted ascending (AddMachine appends monotonically increasing
+	// IDs and removals preserve order), so the slot is found by binary
+	// search rather than a linear scan.
+	if i := sort.Search(len(c.ids), func(i int) bool { return c.ids[i] >= id }); i < len(c.ids) && c.ids[i] == id {
+		c.ids = append(c.ids[:i], c.ids[i+1:]...)
 	}
 	c.capacity = c.capacity.Sub(m.Capacity)
 	return res
@@ -238,6 +326,8 @@ func (c *Cell) Place(id trace.MachineID, r *Resident) {
 	}
 	m.residents[r.Key] = r
 	m.allocated = m.allocated.Add(r.Limit)
+	m.usageTotal = m.usageTotal.Add(r.Usage)
+	m.mutated()
 }
 
 // Remove detaches a resident from a machine and returns it. Removing a
@@ -253,14 +343,9 @@ func (c *Cell) Remove(id trace.MachineID, key trace.InstanceKey) *Resident {
 	}
 	delete(m.residents, key)
 	m.allocated = m.allocated.Sub(r.Limit)
-	// Clamp numeric drift so long simulations cannot accumulate negative
-	// allocation.
-	if m.allocated.CPU < 0 {
-		m.allocated.CPU = 0
-	}
-	if m.allocated.Mem < 0 {
-		m.allocated.Mem = 0
-	}
+	m.usageTotal = m.usageTotal.Sub(r.Usage)
+	m.clampAggregates()
+	m.mutated()
 	return r
 }
 
@@ -277,6 +362,9 @@ func (c *Cell) UpdateLimit(id trace.MachineID, key trace.InstanceKey, limit trac
 	}
 	m.allocated = m.allocated.Sub(r.Limit).Add(limit)
 	r.Limit = limit
+	// Limit changes alter fit and score but not the victim order (which
+	// sorts by priority and key), so only the generation moves.
+	m.gen++
 }
 
 // TotalAllocated sums limit allocation across all machines.

@@ -223,6 +223,169 @@ func TestBuildCellPanicsOnEmptyCatalog(t *testing.T) {
 	BuildCell("x", 10, nil, rng.New(1))
 }
 
+func TestSetUsageMaintainsAggregate(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	key := trace.InstanceKey{Collection: 1}
+	c.Place(m.ID, &Resident{Key: key, Usage: res(0.1, 0.1)})
+	if !m.SetUsage(key, res(0.4, 0.3)) {
+		t.Fatal("SetUsage on placed resident returned false")
+	}
+	got := m.UsageTotal()
+	if got.CPU < 0.4-1e-12 || got.CPU > 0.4+1e-12 || got.Mem < 0.3-1e-12 || got.Mem > 0.3+1e-12 {
+		t.Fatalf("usage total %v after SetUsage", got)
+	}
+	if m.Resident(key).Usage != res(0.4, 0.3) {
+		t.Fatal("resident usage not updated")
+	}
+	if m.SetUsage(trace.InstanceKey{Collection: 9}, res(1, 1)) {
+		t.Fatal("SetUsage on missing resident returned true")
+	}
+	c.Remove(m.ID, key)
+	if m.UsageTotal() != res(0, 0) {
+		t.Fatalf("usage total %v after removing last resident", m.UsageTotal())
+	}
+}
+
+func TestCeilingMemoized(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(0.5, 0.8), "P0")
+	p1 := OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.2}
+	p2 := OvercommitPolicy{CPUFactor: 2, MemFactor: 1}
+	for i := 0; i < 3; i++ { // repeated and alternating policies
+		if got := m.Ceiling(p1); got != p1.AllocationCeiling(m.Capacity) {
+			t.Fatalf("ceiling %v for p1", got)
+		}
+		if got := m.Ceiling(p2); got != p2.AllocationCeiling(m.Capacity) {
+			t.Fatalf("ceiling %v for p2", got)
+		}
+	}
+}
+
+func TestGenerationBumpsOnEveryMutation(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	key := trace.InstanceKey{Collection: 1}
+	g := m.Gen()
+	step := func(name string, f func()) {
+		f()
+		if m.Gen() <= g {
+			t.Fatalf("%s did not bump generation (%d -> %d)", name, g, m.Gen())
+		}
+		g = m.Gen()
+	}
+	step("place", func() { c.Place(m.ID, &Resident{Key: key, Limit: res(0.2, 0.2)}) })
+	step("set usage", func() { m.SetUsage(key, res(0.1, 0.1)) })
+	step("update limit", func() { c.UpdateLimit(m.ID, key, res(0.3, 0.1)) })
+	step("remove", func() { c.Remove(m.ID, key) })
+}
+
+// The cached victim order must behave like a stable snapshot: a slice
+// handed out before a mutation keeps its contents, and the next call
+// reflects the mutation.
+func TestResidentsSnapshotStableAcrossMutation(t *testing.T) {
+	c := NewCell("test")
+	m := c.AddMachine(res(1, 1), "P0")
+	for i := 1; i <= 4; i++ {
+		c.Place(m.ID, &Resident{Key: trace.InstanceKey{Collection: trace.CollectionID(i)}, Priority: i * 10})
+	}
+	snap := m.Residents()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	if again := m.Residents(); &again[0] != &snap[0] {
+		t.Fatal("unmutated machine rebuilt its victim order")
+	}
+	// Evict-while-iterating: removals must not disturb the snapshot.
+	for _, r := range snap {
+		c.Remove(m.ID, r.Key)
+	}
+	if len(snap) != 4 || snap[0].Key.Collection != 1 {
+		t.Fatal("snapshot disturbed by removals")
+	}
+	if got := m.Residents(); len(got) != 0 {
+		t.Fatalf("fresh call returned %d residents", len(got))
+	}
+}
+
+// Property: after randomized place/remove/limit/usage mutation sequences,
+// the incrementally maintained aggregates (allocation, usage total, victim
+// order, ceiling) match a from-scratch recomputation of the same state.
+func TestIncrementalStateMatchesRecompute(t *testing.T) {
+	src := rng.New(99)
+	c := NewCell("prop")
+	oc := OvercommitPolicy{CPUFactor: 1.4, MemFactor: 1.2}
+	for i := 0; i < 4; i++ {
+		c.AddMachine(res(2, 2), "P0")
+	}
+	ids := c.MachineIDs()
+	type placed struct {
+		key trace.InstanceKey
+		mid trace.MachineID
+	}
+	var live []placed
+	next := trace.CollectionID(1)
+	randRes := func() trace.Resources { return res(src.Float64()*0.3, src.Float64()*0.3) }
+
+	verify := func(step int, m *Machine) {
+		var wantAlloc, wantUsage trace.Resources
+		rs := m.Residents()
+		if len(rs) != m.NumResidents() {
+			t.Fatalf("step %d: victim order has %d entries, machine has %d residents", step, len(rs), m.NumResidents())
+		}
+		for i, r := range rs {
+			wantAlloc = wantAlloc.Add(r.Limit)
+			wantUsage = wantUsage.Add(r.Usage)
+			if i > 0 {
+				prev := rs[i-1]
+				if prev.Priority > r.Priority ||
+					(prev.Priority == r.Priority && prev.Key.Collection > r.Key.Collection) {
+					t.Fatalf("step %d: victim order violated at %d", step, i)
+				}
+			}
+		}
+		const eps = 1e-9
+		gotAlloc, gotUsage := m.Allocated(), m.UsageTotal()
+		if gotAlloc.CPU < wantAlloc.CPU-eps || gotAlloc.CPU > wantAlloc.CPU+eps ||
+			gotAlloc.Mem < wantAlloc.Mem-eps || gotAlloc.Mem > wantAlloc.Mem+eps {
+			t.Fatalf("step %d: allocated %v, recomputed %v", step, gotAlloc, wantAlloc)
+		}
+		if gotUsage.CPU < wantUsage.CPU-eps || gotUsage.CPU > wantUsage.CPU+eps ||
+			gotUsage.Mem < wantUsage.Mem-eps || gotUsage.Mem > wantUsage.Mem+eps {
+			t.Fatalf("step %d: usage total %v, recomputed %v", step, gotUsage, wantUsage)
+		}
+		if m.Ceiling(oc) != oc.AllocationCeiling(m.Capacity) {
+			t.Fatalf("step %d: stale ceiling", step)
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch op := src.Intn(4); {
+		case op == 0 || len(live) == 0: // place
+			mid := ids[src.Intn(len(ids))]
+			key := trace.InstanceKey{Collection: next}
+			next++
+			c.Place(mid, &Resident{
+				Key: key, Limit: randRes(), Usage: randRes(),
+				Priority: src.Intn(360),
+			})
+			live = append(live, placed{key: key, mid: mid})
+		case op == 1: // remove
+			i := src.Intn(len(live))
+			c.Remove(live[i].mid, live[i].key)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case op == 2: // update limit
+			p := live[src.Intn(len(live))]
+			c.UpdateLimit(p.mid, p.key, randRes())
+		default: // usage sample
+			p := live[src.Intn(len(live))]
+			c.Machine(p.mid).SetUsage(p.key, randRes())
+		}
+		verify(step, c.Machine(ids[src.Intn(len(ids))]))
+	}
+}
+
 // Property: placement/removal keeps allocation equal to the sum of
 // resident limits.
 func TestAllocationConsistencyProperty(t *testing.T) {

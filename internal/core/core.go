@@ -15,7 +15,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/autopilot"
 	"repro/internal/cluster"
@@ -183,6 +182,13 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	return res
 }
 
+// obs is one running task's sampled usage for the current window.
+type obs struct {
+	task *scheduler.Task
+	avg  trace.Resources
+	peak trace.Resources
+}
+
 // usageSampler turns each running task's usage model into 5-minute usage
 // records, applies work-conserving CPU throttling and memory OOM pressure,
 // and feeds Autopilot.
@@ -195,6 +201,9 @@ type usageSampler struct {
 	src        *rng.Source
 	k          *sim.Kernel
 	histograms bool
+	// obsBuf is the per-machine observation scratch, reused every window
+	// so steady-state sampling does not allocate.
+	obsBuf []obs
 	// prevTracked lets us Forget autopilot windows for tasks that
 	// stopped running between samples.
 	prevTracked map[trace.InstanceKey]bool
@@ -217,37 +226,31 @@ func newUsageSampler(p *workload.CellProfile, cell *cluster.Cell, sched *schedul
 	}
 }
 
-// sample emits one 5-minute window of usage records ending at now.
+// sample emits one 5-minute window of usage records ending at now. It
+// walks machines in ID order and each machine's cached resident order —
+// both deterministic — so randomness consumption stays a pure function of
+// the simulation state, with no per-window sorting or grouping maps.
 func (u *usageSampler) sample(now sim.Time) {
-	type obs struct {
-		task *scheduler.Task
-		avg  trace.Resources
-		peak trace.Resources
-	}
-	perMachine := make(map[trace.MachineID][]*obs)
-
-	u.sched.RunningTasks(func(t *scheduler.Task) {
-		noiseC := math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
-		noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
-		avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
-		peakJitter := 1 + (t.PeakFact-1)*(0.7+0.6*u.src.Float64())
-		peak := avg.Scale(peakJitter)
-		perMachine[t.Machine] = append(perMachine[t.Machine], &obs{task: t, avg: avg, peak: peak})
-	})
-
-	// Deterministic machine order: randomness is consumed per record, so
-	// iteration order must not depend on map layout.
-	mids := make([]trace.MachineID, 0, len(perMachine))
-	for mid := range perMachine {
-		mids = append(mids, mid)
-	}
-	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
-
 	tracked := make(map[trace.InstanceKey]bool)
-	for _, mid := range mids {
-		list := perMachine[mid]
+	for _, mid := range u.cell.MachineIDs() {
 		m := u.cell.Machine(mid)
-		if m == nil {
+		if m == nil || m.NumResidents() == 0 {
+			continue
+		}
+		list := u.obsBuf[:0]
+		for _, r := range m.Residents() {
+			t := u.sched.TaskByKey(r.Key)
+			if t == nil || t.State != scheduler.TaskRunning || t.Machine != mid {
+				continue
+			}
+			noiseC := math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
+			noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
+			avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
+			peakJitter := 1 + (t.PeakFact-1)*(0.7+0.6*u.src.Float64())
+			list = append(list, obs{task: t, avg: avg, peak: avg.Scale(peakJitter)})
+		}
+		u.obsBuf = list[:0]
+		if len(list) == 0 {
 			continue
 		}
 		// Work-conserving CPU: the machine cannot exceed its physical
@@ -263,36 +266,35 @@ func (u *usageSampler) sample(now sim.Time) {
 			capMem = 0
 		}
 		var cpuSum, memSum float64
-		for _, o := range list {
-			cpuSum += o.avg.CPU
-			memSum += o.avg.Mem
+		for i := range list {
+			cpuSum += list[i].avg.CPU
+			memSum += list[i].avg.Mem
 		}
 		if cpuSum > capCPU && cpuSum > 0 {
 			f := capCPU / cpuSum
-			for _, o := range list {
-				o.avg.CPU *= f
-				o.peak.CPU *= f
+			for i := range list {
+				list[i].avg.CPU *= f
+				list[i].peak.CPU *= f
 			}
 		}
 		// Memory is a hard bound: pressure evicts the weakest residents
 		// (§5.2); the evicted tasks' usage vanishes with them.
 		if memSum > capMem {
-			for _, o := range list {
-				if r := m.Resident(o.task.Key); r != nil {
-					r.Usage = o.avg
-				}
+			for i := range list {
+				// SetUsage keeps the machine's incremental usage aggregate
+				// consistent; the pressure handler below reads it.
+				m.SetUsage(list[i].task.Key, list[i].avg)
 			}
 			u.sched.HandleMemoryPressure(mid, capMem)
 		}
 
-		for _, o := range list {
+		for i := range list {
+			o := &list[i]
 			t := o.task
 			if t.State != scheduler.TaskRunning || t.Machine != mid {
 				continue // evicted by the pressure handler above
 			}
-			if r := m.Resident(t.Key); r != nil {
-				r.Usage = o.avg
-			}
+			m.SetUsage(t.Key, o.avg)
 			rec := trace.UsageRecord{
 				Start:    now - sim.SampleWindow,
 				End:      now,

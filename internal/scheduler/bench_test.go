@@ -1,0 +1,87 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchCell builds a cell of n unit machines, each pre-loaded with
+// residents residents of the given tier/priority, and a scheduler over it.
+func benchCell(n, residents int, tier trace.Tier, priority int, limit, usage trace.Resources, oc cluster.OvercommitPolicy) (*Scheduler, *cluster.Cell) {
+	cell := cluster.NewCell("bench")
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Batch = nil
+	cfg.Overcommit = oc
+	cfg.ServiceTime = dist.Deterministic{Value: 0.001}
+	s := New(cfg, cell, k, trace.NopSink{}, rng.New(7))
+	id := trace.CollectionID(1)
+	for i := 0; i < n; i++ {
+		m := cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+		for r := 0; r < residents; r++ {
+			cell.Place(m.ID, &cluster.Resident{
+				Key:      trace.InstanceKey{Collection: id},
+				Limit:    limit,
+				Priority: priority,
+				Tier:     tier,
+				Usage:    usage,
+			})
+			id++
+		}
+	}
+	return s, cell
+}
+
+// benchTask returns a pending task of the given shape.
+func benchTask(req trace.Resources, priority int, tier trace.Tier) *Task {
+	j := NewJob(999999)
+	j.Type = trace.CollectionJob
+	j.Priority = priority
+	j.Tier = tier
+	t := &Task{Request: req, Duration: sim.Hour}
+	j.AddTask(t)
+	return t
+}
+
+// BenchmarkPlacement measures the steady-state placement fast path: one
+// candidate-sampling scoring pass plus the place/remove cell mutations a
+// real placement cycle performs. The loop must not allocate.
+func BenchmarkPlacement(b *testing.B) {
+	s, cell := benchCell(200, 12, trace.TierMid, 110,
+		trace.Resources{CPU: 0.03, Mem: 0.03}, trace.Resources{CPU: 0.02, Mem: 0.02},
+		cluster.OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.45})
+	t := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := s.pickMachine(t)
+		if m == nil {
+			b.Fatal("no feasible machine")
+		}
+		cell.Place(m.ID, s.takeResident(t.Key, t.Request, t.Job.Priority, t.Job.Tier))
+		s.releaseResident(cell.Remove(m.ID, t.Key))
+	}
+}
+
+// BenchmarkPreemption measures the preemption probe on machines whose
+// residents are all production-tier (unpreemptable): every candidate's
+// victim order is walked end to end and no eviction happens, so the loop
+// isolates the scan cost.
+func BenchmarkPreemption(b *testing.B) {
+	s, _ := benchCell(64, 20, trace.TierProduction, 120,
+		trace.Resources{CPU: 0.05, Mem: 0.05}, trace.Resources{CPU: 0.03, Mem: 0.03},
+		cluster.OvercommitPolicy{CPUFactor: 1, MemFactor: 1})
+	t := benchTask(trace.Resources{CPU: 0.5, Mem: 0.5}, 200, trace.TierProduction)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := s.tryPreemption(t); m != nil {
+			b.Fatal("preemption should be impossible")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestScoreCacheMatchesRecompute is the invalidation property test for the
+// equivalence-class score cache: after every randomized cell mutation
+// (place, evict, limit update, usage sample), the cached score must equal
+// a from-scratch recomputation bit for bit — the cache is memoization,
+// never approximation.
+func TestScoreCacheMatchesRecompute(t *testing.T) {
+	s, cell := benchCell(8, 6, trace.TierMid, 110,
+		trace.Resources{CPU: 0.05, Mem: 0.05}, trace.Resources{CPU: 0.03, Mem: 0.03},
+		cluster.OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.45})
+	tasks := []*Task{
+		benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction),
+		benchTask(trace.Resources{CPU: 0.02, Mem: 0.04}, 0, trace.TierFree),
+		benchTask(trace.Resources{CPU: 0.2, Mem: 0.05}, 110, trace.TierBestEffortBatch),
+	}
+	src := rng.New(5)
+	ids := cell.MachineIDs()
+	next := trace.CollectionID(100000)
+	extra := make(map[trace.MachineID][]trace.InstanceKey)
+
+	for step := 0; step < 3000; step++ {
+		mid := ids[src.Intn(len(ids))]
+		m := cell.Machine(mid)
+		switch op := src.Intn(4); {
+		case op == 0: // place a new resident
+			key := trace.InstanceKey{Collection: next}
+			next++
+			cell.Place(mid, &cluster.Resident{
+				Key:   key,
+				Limit: trace.Resources{CPU: src.Float64() * 0.05, Mem: src.Float64() * 0.05},
+			})
+			extra[mid] = append(extra[mid], key)
+		case op == 1 && len(extra[mid]) > 0: // evict one again
+			keys := extra[mid]
+			cell.Remove(mid, keys[len(keys)-1])
+			extra[mid] = keys[:len(keys)-1]
+		case op == 2 && len(extra[mid]) > 0: // autopilot-style limit update
+			keys := extra[mid]
+			cell.UpdateLimit(mid, keys[src.Intn(len(keys))],
+				trace.Resources{CPU: src.Float64() * 0.05, Mem: src.Float64() * 0.05})
+		default: // usage sample on any resident
+			rs := m.Residents()
+			if len(rs) > 0 {
+				m.SetUsage(rs[src.Intn(len(rs))].Key,
+					trace.Resources{CPU: src.Float64() * 0.05, Mem: src.Float64() * 0.05})
+			}
+		}
+
+		// Score a random (task, machine) pair twice through the cache —
+		// the second lookup is guaranteed cached — and compare both
+		// against direct recomputation.
+		tt := tasks[src.Intn(len(tasks))]
+		vm := cell.Machine(ids[src.Intn(len(ids))])
+		usage := vm.UsageTotal()
+		class := s.classID(tt)
+		first := s.cachedScore(vm, tt, usage, class)
+		cached := s.cachedScore(vm, tt, usage, class)
+		want := s.score(vm, tt, usage)
+		if first != want || cached != want {
+			t.Fatalf("step %d: cached score %v/%v, recomputed %v (machine %d gen %d)",
+				step, first, cached, want, vm.ID, vm.Gen())
+		}
+	}
+	st := s.Stats()
+	if st.ScoreCacheHits == 0 || st.ScoreCacheMisses == 0 {
+		t.Fatalf("degenerate cache exercise: hits=%d misses=%d", st.ScoreCacheHits, st.ScoreCacheMisses)
+	}
+}
+
+// TestClassIDStableAndDistinct checks equivalence-class interning: same
+// shape/tier/band shares an ID, any differing component splits it, and
+// IDs stay monotonic across a table clear so stale cache slots can never
+// alias a fresh class.
+func TestClassIDStableAndDistinct(t *testing.T) {
+	s, _ := benchCell(1, 0, trace.TierMid, 110,
+		trace.Resources{}, trace.Resources{}, cluster.OvercommitPolicy{CPUFactor: 1, MemFactor: 1})
+	base := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction)
+	same := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 125, trace.TierProduction) // same band of ten
+	if s.classID(base) != s.classID(same) {
+		t.Fatal("identical class interned to different IDs")
+	}
+	for _, other := range []*Task{
+		benchTask(trace.Resources{CPU: 0.2, Mem: 0.1}, 120, trace.TierProduction), // shape
+		benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierMid),        // tier
+		benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 200, trace.TierProduction), // band
+	} {
+		if s.classID(other) == s.classID(base) {
+			t.Fatalf("distinct class shares ID: %+v", other.Request)
+		}
+	}
+	id := s.classID(base)
+	clear(s.classIDs) // simulate hitting maxClassIDs
+	if again := s.classID(base); again <= id {
+		t.Fatalf("class ID not monotonic across clear: %d then %d", id, again)
+	}
+}
+
+// TestPlacementSteadyStateZeroAllocs is the CI allocation guard: one
+// steady-state placement cycle — candidate scoring, placing the chosen
+// resident, and unplacing it — must not allocate.
+func TestPlacementSteadyStateZeroAllocs(t *testing.T) {
+	s, cell := benchCell(64, 8, trace.TierMid, 110,
+		trace.Resources{CPU: 0.03, Mem: 0.03}, trace.Resources{CPU: 0.02, Mem: 0.02},
+		cluster.OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.45})
+	task := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction)
+	cycle := func() {
+		m := s.pickMachine(task)
+		if m == nil {
+			t.Fatal("no feasible machine")
+		}
+		cell.Place(m.ID, s.takeResident(task.Key, task.Request, task.Job.Priority, task.Job.Tier))
+		s.releaseResident(cell.Remove(m.ID, task.Key))
+	}
+	for i := 0; i < 100; i++ {
+		cycle() // warm the pool, class table, and score slots
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("steady-state placement allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestPreemptionProbeZeroAllocs guards the preemption scan: probing the
+// cached victim order of unpreemptable machines must not allocate.
+func TestPreemptionProbeZeroAllocs(t *testing.T) {
+	s, _ := benchCell(32, 20, trace.TierProduction, 120,
+		trace.Resources{CPU: 0.05, Mem: 0.05}, trace.Resources{CPU: 0.03, Mem: 0.03},
+		cluster.OvercommitPolicy{CPUFactor: 1, MemFactor: 1})
+	task := benchTask(trace.Resources{CPU: 0.5, Mem: 0.5}, 200, trace.TierProduction)
+	probe := func() {
+		if m := s.tryPreemption(task); m != nil {
+			t.Fatal("preemption should be impossible")
+		}
+	}
+	for i := 0; i < 50; i++ {
+		probe()
+	}
+	if avg := testing.AllocsPerRun(200, probe); avg != 0 {
+		t.Fatalf("preemption probe allocates %.1f allocs/op, want 0", avg)
+	}
+}

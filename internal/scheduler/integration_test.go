@@ -175,7 +175,7 @@ func TestOOMKillTerminalAfterRepeat(t *testing.T) {
 
 	overLimit := func() {
 		for _, r := range m.Residents() {
-			r.Usage = trace.Resources{CPU: 0.1, Mem: 1.5} // way over its limit
+			m.SetUsage(r.Key, trace.Resources{CPU: 0.1, Mem: 1.5}) // way over its limit
 		}
 		rig.sched.HandleMemoryPressure(m.ID, m.Capacity.Mem)
 	}

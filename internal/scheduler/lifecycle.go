@@ -157,9 +157,10 @@ func (s *Scheduler) startRunning(t *Task, m trace.MachineID) {
 	if segment <= 0 {
 		segment = 1
 	}
-	t.endEvent = s.k.After(segment, func(sim.Time) {
-		s.segmentEnd(t)
-	})
+	if t.endFn == nil {
+		t.endFn = func(sim.Time) { s.segmentEnd(t) }
+	}
+	t.endEvent = s.k.After(segment, t.endFn)
 }
 
 // segmentEnd handles a task reaching the end of a running segment: either
@@ -281,8 +282,9 @@ func (s *Scheduler) unplace(t *Task, terminal bool) {
 		}
 		t.AllocInstance = trace.InstanceKey{}
 	}
-	if s.cell.Machine(t.Machine) != nil && s.cell.Machine(t.Machine).Resident(t.Key) != nil {
-		s.cell.Remove(t.Machine, t.Key)
+	if m := s.cell.Machine(t.Machine); m != nil && m.Resident(t.Key) != nil {
+		// The detached record is recycled: nothing else may retain it.
+		s.releaseResident(s.cell.Remove(t.Machine, t.Key))
 	}
 	t.Machine = 0
 }
@@ -325,13 +327,7 @@ func (s *Scheduler) requeueAfter(t *Task, delay sim.Time) {
 	t.State = TaskWaiting
 	t.Reschedules++
 	s.emitInstance(t, trace.EventSubmit, s.k.Now())
-	t.retryEvent = s.k.After(delay, func(sim.Time) {
-		t.retryEvent = sim.EventRef{}
-		if t.Job.State == JobDone || t.State != TaskWaiting {
-			return
-		}
-		s.enqueue(t)
-	})
+	t.retryEvent = s.k.After(delay, s.retryFn(t))
 }
 
 // EvictMachine evicts residents of a machine for maintenance (an OS

@@ -35,7 +35,11 @@ func (s *Scheduler) attemptPlacement(t *Task, now sim.Time) {
 }
 
 // pickMachine samples candidate machines and returns the best feasible one
-// under the configured policy, or nil.
+// under the configured policy, or nil. This is the placement fast path:
+// candidate feasibility and scoring read only O(1) machine aggregates,
+// and scores memoize per equivalence class. The RNG draw sequence is
+// identical whether or not the cache hits, so caching cannot perturb the
+// deterministic trace.
 func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 	ids := s.cell.MachineIDs()
 	if len(ids) == 0 {
@@ -45,6 +49,7 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 	if k > len(ids) {
 		k = len(ids)
 	}
+	var class uint32 // interned lazily: RandomFit never needs it
 	var best *cluster.Machine
 	bestScore := math.Inf(1)
 	for i := 0; i < k; i++ {
@@ -55,13 +60,17 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 		// Usage-aware feasibility: do not stack onto a machine whose
 		// sampled memory usage leaves no room — memory is a hard bound
 		// and placing here would trigger OOM evictions next window.
-		if m.UsageTotal().Mem+0.6*t.Request.Mem > m.Capacity.Mem {
+		usage := m.UsageTotal()
+		if usage.Mem+0.6*t.Request.Mem > m.Capacity.Mem {
 			continue
 		}
 		if s.cfg.Policy == RandomFit {
 			return m
 		}
-		score := s.score(m, t)
+		if class == 0 {
+			class = s.classID(t)
+		}
+		score := s.cachedScore(m, t, usage, class)
 		if score < bestScore {
 			best, bestScore = m, score
 		}
@@ -69,12 +78,35 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 	return best
 }
 
+// cachedScore returns score(m, t) through the equivalence-class cache: a
+// slot whose class and machine generation both match is exact memoization
+// (see scoreSlot) and skips recomputation. The probe is a bare array
+// index — no hashing on the per-candidate path.
+func (s *Scheduler) cachedScore(m *cluster.Machine, t *Task, usage trace.Resources, class uint32) float64 {
+	i := int(m.ID)
+	if i >= len(s.scoreSlots) {
+		grown := make([]scoreSlot, i+1)
+		copy(grown, s.scoreSlots)
+		s.scoreSlots = grown
+	}
+	slot := &s.scoreSlots[i]
+	if slot.class == class && slot.gen == m.Gen() {
+		s.stats.ScoreCacheHits++
+		return slot.score
+	}
+	s.stats.ScoreCacheMisses++
+	sc := s.score(m, t, usage)
+	*slot = scoreSlot{class: class, gen: m.Gen(), score: sc}
+	return sc
+}
+
 // score ranks a feasible machine; lower is better. Both the allocation
 // position and the sampled usage contribute, so load spreading considers
-// actual consumption as well as promises.
-func (s *Scheduler) score(m *cluster.Machine, t *Task) float64 {
+// actual consumption as well as promises. usage is the caller's already
+// sampled m.UsageTotal(), threaded through so one placement attempt reads
+// it exactly once per candidate.
+func (s *Scheduler) score(m *cluster.Machine, t *Task, usage trace.Resources) float64 {
 	alloc := m.Allocated()
-	usage := m.UsageTotal()
 	capacity := m.Capacity
 	frac := 0.0
 	if capacity.CPU > 0 {
@@ -96,27 +128,50 @@ func (s *Scheduler) score(m *cluster.Machine, t *Task) float64 {
 	}
 }
 
+// takeResident returns a Resident record for a placement, recycling one
+// from the pool when possible so steady-state placement does not allocate.
+func (s *Scheduler) takeResident(key trace.InstanceKey, limit trace.Resources, priority int, tier trace.Tier) *cluster.Resident {
+	if n := len(s.residentPool); n > 0 {
+		r := s.residentPool[n-1]
+		s.residentPool = s.residentPool[:n-1]
+		*r = cluster.Resident{Key: key, Limit: limit, Priority: priority, Tier: tier}
+		return r
+	}
+	return &cluster.Resident{Key: key, Limit: limit, Priority: priority, Tier: tier}
+}
+
+// releaseResident returns an unplaced Resident record to the pool. The
+// record must already be detached from its machine; a stale victim-order
+// snapshot may still reference it until the snapshot holder's current
+// scheduling event completes, so the record is zeroed here — any such
+// latent read then resolves to a non-existent instance (a loud no-op)
+// rather than silently aliasing whatever task reuses the record next.
+func (s *Scheduler) releaseResident(r *cluster.Resident) {
+	if r != nil {
+		*r = cluster.Resident{}
+		s.residentPool = append(s.residentPool, r)
+	}
+}
+
 // placeOnMachine commits a placement and starts the task.
 func (s *Scheduler) placeOnMachine(t *Task, m *cluster.Machine) {
 	limit := t.Request
-	s.cell.Place(m.ID, &cluster.Resident{
-		Key:      t.Key,
-		Limit:    limit,
-		Priority: t.Job.Priority,
-		Tier:     t.Job.Tier,
-	})
+	s.cell.Place(m.ID, s.takeResident(t.Key, limit, t.Job.Priority, t.Job.Tier))
 	s.stats.TasksPlaced++
 	s.startRunning(t, m.ID)
 
 	// A newly placed alloc instance becomes a reservation jobs can
 	// schedule into.
 	if t.Job.Type == trace.CollectionAllocSet {
-		s.allocs[t.Job.ID] = append(s.allocs[t.Job.ID], &AllocInstance{
+		ai := &AllocInstance{
 			Key:      t.Key,
 			Machine:  m.ID,
 			Reserved: t.Request,
 			tasks:    make(map[trace.InstanceKey]*Task),
-		})
+			slot:     len(s.allocs[t.Job.ID]),
+		}
+		s.allocs[t.Job.ID] = append(s.allocs[t.Job.ID], ai)
+		s.allocByKey[ai.Key] = ai
 	}
 }
 
@@ -145,12 +200,7 @@ func (s *Scheduler) placeInAlloc(t *Task, now sim.Time) {
 	t.AllocInstance = best.Key
 	// Inner tasks consume the alloc set's reservation, not fresh machine
 	// allocation, so they join the machine with a zero limit.
-	s.cell.Place(best.Machine, &cluster.Resident{
-		Key:      t.Key,
-		Limit:    trace.Resources{},
-		Priority: t.Job.Priority,
-		Tier:     t.Job.Tier,
-	})
+	s.cell.Place(best.Machine, s.takeResident(t.Key, trace.Resources{}, t.Job.Priority, t.Job.Tier))
 	s.stats.TasksPlaced++
 	s.startRunning(t, best.Machine)
 }
@@ -178,7 +228,7 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 		if m == nil {
 			continue
 		}
-		ceiling := s.cfg.Overcommit.AllocationCeiling(m.Capacity)
+		ceiling := m.Ceiling(s.cfg.Overcommit)
 		need := m.Allocated().Add(t.Request).Sub(ceiling)
 		if need.CPU <= 0 && need.Mem <= 0 {
 			// Already fits; pickMachine should have found it, but the
@@ -230,23 +280,28 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 func (s *Scheduler) retryLater(t *Task) {
 	s.stats.PlacementRetries++
 	t.State = TaskWaiting
-	t.retryEvent = s.k.After(s.cfg.RetryBackoff, func(sim.Time) {
-		t.retryEvent = sim.EventRef{}
-		if t.Job.State == JobDone || t.State != TaskWaiting {
-			return
+	t.retryEvent = s.k.After(s.cfg.RetryBackoff, s.retryFn(t))
+}
+
+// retryFn returns the task's cached re-enqueue callback, shared by
+// feasibility retries and post-eviction requeues (the guard conditions
+// are identical) so neither path allocates a closure per attempt.
+func (s *Scheduler) retryFn(t *Task) func(sim.Time) {
+	if t.retryFn == nil {
+		t.retryFn = func(sim.Time) {
+			t.retryEvent = sim.EventRef{}
+			if t.Job.State == JobDone || t.State != TaskWaiting {
+				return
+			}
+			s.enqueue(t)
 		}
-		s.enqueue(t)
-	})
+	}
+	return t.retryFn
 }
 
 // findAllocInstance resolves an alloc-instance key to its live record.
 func (s *Scheduler) findAllocInstance(key trace.InstanceKey) *AllocInstance {
-	for _, ai := range s.allocs[key.Collection] {
-		if ai.Key == key {
-			return ai
-		}
-	}
-	return nil
+	return s.allocByKey[key]
 }
 
 // removeAllocInstance drops an alloc instance from the registry. The
@@ -256,27 +311,32 @@ func (s *Scheduler) findAllocInstance(key trace.InstanceKey) *AllocInstance {
 // infrastructure evictions to them); if the instance was merely evicted,
 // they are displaced and rescheduled.
 func (s *Scheduler) removeAllocInstance(key trace.InstanceKey, terminal bool) {
-	instances := s.allocs[key.Collection]
-	for i, ai := range instances {
-		if ai.Key != key {
-			continue
-		}
-		s.allocs[key.Collection] = append(instances[:i], instances[i+1:]...)
-		inner := make([]*Task, 0, len(ai.tasks))
-		for _, t := range ai.tasks {
-			inner = append(inner, t)
-		}
-		sortTasks(inner)
-		for _, t := range inner {
-			if terminal {
-				if t.Job.State != JobDone {
-					s.KillJob(t.Job, trace.EventKill)
-				}
-			} else if t.State == TaskRunning {
-				s.Evict(t)
-			}
-		}
+	ai := s.allocByKey[key]
+	if ai == nil {
 		return
+	}
+	delete(s.allocByKey, key)
+	instances := s.allocs[key.Collection]
+	// Close the slot and renumber the shifted tail (the shift itself is
+	// already O(tail); renumbering adds no asymptotic cost).
+	i := ai.slot
+	s.allocs[key.Collection] = append(instances[:i], instances[i+1:]...)
+	for j := i; j < len(s.allocs[key.Collection]); j++ {
+		s.allocs[key.Collection][j].slot = j
+	}
+	inner := make([]*Task, 0, len(ai.tasks))
+	for _, t := range ai.tasks {
+		inner = append(inner, t)
+	}
+	sortTasks(inner)
+	for _, t := range inner {
+		if terminal {
+			if t.Job.State != JobDone {
+				s.KillJob(t.Job, trace.EventKill)
+			}
+		} else if t.State == TaskRunning {
+			s.Evict(t)
+		}
 	}
 }
 
@@ -299,5 +359,8 @@ func (s *Scheduler) teardownAllocSet(j *Job) {
 		}
 	}
 	delete(s.allocJobs, j.ID)
+	for _, ai := range s.allocs[j.ID] {
+		delete(s.allocByKey, ai.Key)
+	}
 	delete(s.allocs, j.ID)
 }

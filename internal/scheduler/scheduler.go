@@ -183,6 +183,12 @@ type Task struct {
 	// AllocInstance hosts this task when the job targets an alloc set.
 	AllocInstance trace.InstanceKey
 
+	// endFn/retryFn are the task's kernel callbacks, built once on first
+	// use and reused across every subsequent start/retry so steady-state
+	// scheduling does not allocate a closure per placement.
+	endFn   func(sim.Time)
+	retryFn func(sim.Time)
+
 	remaining   sim.Time
 	segment     sim.Time // remaining time in the current segment plan
 	runStart    sim.Time
@@ -262,6 +268,10 @@ type Stats struct {
 	BatchAdmitted       int
 	BatchQueuedNow      int
 	TasksFailedRestarts int
+	// ScoreCacheHits/Misses count equivalence-class score lookups served
+	// from cache versus recomputed (placement fast path telemetry).
+	ScoreCacheHits   int
+	ScoreCacheMisses int
 }
 
 // AllocInstance is a reserved slot of an alloc set placed on a machine;
@@ -272,6 +282,54 @@ type AllocInstance struct {
 	Reserved trace.Resources
 	Used     trace.Resources
 	tasks    map[trace.InstanceKey]*Task
+	// slot is the instance's index in its alloc set's registry slice,
+	// kept current so removal needs no linear scan.
+	slot int
+}
+
+// eqClass is the equivalence-class key for placement scoring: tasks with
+// the same request shape, tier and priority band rank machines
+// identically, so their machine scores share cache entries (the 2015-era
+// Borg fast path the paper credits for scheduler throughput).
+type eqClass struct {
+	req  trace.Resources
+	tier trace.Tier
+	band int
+}
+
+// scoreSlot is one machine's memoized score for the equivalence class
+// that last scored it, valid while the machine's generation is unchanged.
+// Every input of score() is covered by the generation (allocation, usage,
+// limits) or by the class (request shape), so a valid slot is
+// bit-identical to recomputation — the cache can never change placement
+// behavior, only skip work. One slot per machine suffices because the
+// pending queue serves a job's identically-shaped tasks back to back.
+type scoreSlot struct {
+	class uint32
+	gen   uint64
+	score float64
+}
+
+// maxClassIDs bounds the class-interning table; crossing it clears the
+// table wholesale. IDs keep monotonically increasing across clears, so a
+// re-interned class can never alias a stale score slot.
+const maxClassIDs = 1 << 16
+
+// classID interns a task's scoring equivalence class to a small integer,
+// so the per-candidate cache probe is an array index instead of a struct
+// hash. Priority bands of ten keep the class count small; priority does
+// not feed the score itself, so band width only shifts hit rates.
+func (s *Scheduler) classID(t *Task) uint32 {
+	c := eqClass{req: t.Request, tier: t.Job.Tier, band: t.Job.Priority / 10}
+	if id, ok := s.classIDs[c]; ok {
+		return id
+	}
+	if len(s.classIDs) >= maxClassIDs {
+		clear(s.classIDs)
+	}
+	s.nextClassID++
+	s.classIDs[c] = s.nextClassID
+	return s.nextClassID
 }
 
 // Free returns the unused reservation.
@@ -292,12 +350,25 @@ type Scheduler struct {
 	jobs     map[trace.CollectionID]*Job
 	children map[trace.CollectionID][]*Job
 	allocs   map[trace.CollectionID][]*AllocInstance // live alloc instances per alloc set
+	// allocByKey indexes every live alloc instance by its instance key so
+	// lookups are O(1) instead of scanning the set's registry slice.
+	allocByKey map[trace.InstanceKey]*AllocInstance
 	// allocJobs tracks jobs targeting each alloc set, so tearing the set
 	// down can kill them even when they are still pending.
 	allocJobs map[trace.CollectionID][]*Job
 	// running indexes tasks currently placed on machines, so per-window
 	// usage sampling is O(running) rather than O(all jobs ever).
 	running map[trace.InstanceKey]*Task
+
+	// scoreSlots memoizes placement scores per machine (indexed by
+	// machine ID) for the last equivalence class that scored the machine,
+	// invalidated by machine generation counters.
+	scoreSlots  []scoreSlot
+	classIDs    map[eqClass]uint32
+	nextClassID uint32
+	// residentPool recycles Resident records between placements so the
+	// steady-state place/unplace cycle does not allocate.
+	residentPool []*cluster.Resident
 
 	batchQueue []*Job
 
@@ -320,16 +391,18 @@ func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rn
 		cfg.ServiceTime = dist.Deterministic{Value: 0.05}
 	}
 	s := &Scheduler{
-		cfg:       cfg,
-		cell:      cell,
-		k:         k,
-		sink:      sink,
-		src:       src,
-		jobs:      make(map[trace.CollectionID]*Job),
-		children:  make(map[trace.CollectionID][]*Job),
-		allocs:    make(map[trace.CollectionID][]*AllocInstance),
-		allocJobs: make(map[trace.CollectionID][]*Job),
-		running:   make(map[trace.InstanceKey]*Task),
+		cfg:        cfg,
+		cell:       cell,
+		k:          k,
+		sink:       sink,
+		src:        src,
+		jobs:       make(map[trace.CollectionID]*Job),
+		children:   make(map[trace.CollectionID][]*Job),
+		allocs:     make(map[trace.CollectionID][]*AllocInstance),
+		allocByKey: make(map[trace.InstanceKey]*AllocInstance),
+		allocJobs:  make(map[trace.CollectionID][]*Job),
+		running:    make(map[trace.InstanceKey]*Task),
+		classIDs:   make(map[eqClass]uint32),
 	}
 	if cfg.Batch != nil {
 		k.Every(cfg.Batch.CheckPeriod, cfg.Batch.CheckPeriod, 0, func(sim.Time) {
@@ -369,6 +442,11 @@ func (s *Scheduler) RunningTasks(fn func(*Task)) {
 
 // NumRunning returns the number of currently running tasks.
 func (s *Scheduler) NumRunning() int { return len(s.running) }
+
+// TaskByKey resolves an instance key to its task, or nil. Callers that
+// iterate a machine's cached resident order and look tasks up with this
+// method avoid the global sorted walk RunningTasks performs.
+func (s *Scheduler) TaskByKey(key trace.InstanceKey) *Task { return s.taskByKey(key) }
 
 // Cell returns the scheduled cell.
 func (s *Scheduler) Cell() *cluster.Cell { return s.cell }

@@ -420,7 +420,7 @@ func TestHandleMemoryPressure(t *testing.T) {
 	// the machine total exceeds capacity.
 	m := rig.cell.Machine(rig.cell.MachineIDs()[0])
 	for _, r := range m.Residents() {
-		r.Usage = trace.Resources{CPU: 0.1, Mem: 0.52}
+		m.SetUsage(r.Key, trace.Resources{CPU: 0.1, Mem: 0.52})
 	}
 	evicted := rig.sched.HandleMemoryPressure(m.ID, m.Capacity.Mem)
 	if evicted != 1 {
@@ -449,11 +449,9 @@ func TestMemoryPressureOverLimitFails(t *testing.T) {
 
 	m := rig.cell.Machine(rig.cell.MachineIDs()[0])
 	for _, r := range m.Residents() {
-		if r.Key.Collection == 1 {
-			r.Usage = trace.Resources{CPU: 0.1, Mem: 0.55} // over its 0.2 limit
-		} else {
-			r.Usage = trace.Resources{CPU: 0.1, Mem: 0.55}
-		}
+		// Collection 1 ends up over its 0.2 limit; the prod task stays
+		// within its own limit but contributes to aggregate pressure.
+		m.SetUsage(r.Key, trace.Resources{CPU: 0.1, Mem: 0.55})
 	}
 	rig.sched.HandleMemoryPressure(m.ID, m.Capacity.Mem)
 	// The over-limit task FAILs (§5.2 "fail"); no EVICT for it.
