@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -252,19 +253,53 @@ func BenchmarkSuiteParallelism(b *testing.B) {
 	}
 }
 
-// BenchmarkLargeCellSuite runs the nine-cell suite at a placement-heavy
-// scale (larger cells, more residents per machine) with full parallelism
-// and no trace retention: it is the macro benchmark for the scheduler
-// placement fast path, tracked in BENCH_PR3.json.
-func BenchmarkLargeCellSuite(b *testing.B) {
-	sc := experiments.Scale{
+// benchScaleLarge is the placement-heavy nine-cell scale shared by the
+// retained and streaming macro benchmarks (tracked in BENCH_PR3.json /
+// BENCH_PR4.json).
+func benchScaleLarge() experiments.Scale {
+	return experiments.Scale{
 		Name: "large-bench", Machines2011: 240, Machines2019: 200,
 		Horizon: 6 * sim.Hour, Warmup: 2 * sim.Hour, Seed: 11,
 	}
+}
+
+// BenchmarkLargeCellSuite runs the nine-cell suite at a placement-heavy
+// scale (larger cells, more residents per machine) with full parallelism,
+// retaining every trace: it is the macro benchmark for the scheduler
+// placement fast path, tracked in BENCH_PR3.json, and the memory
+// baseline the streaming twin below undercuts. Peak heap is sampled by
+// the same probe the CI memory-ceiling gate uses.
+func BenchmarkLargeCellSuite(b *testing.B) {
+	sc := benchScaleLarge()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		experiments.RunSuite(sc)
-	}
+	peak := experiments.PeakHeapDuring(func() {
+		for i := 0; i < b.N; i++ {
+			experiments.RunSuite(sc)
+		}
+	})
+	b.ReportMetric(float64(peak)/1e6, "peak-heap-MB")
+}
+
+// BenchmarkStreamingSuite is BenchmarkLargeCellSuite with NoMemTrace:
+// the same nine cells, but every row folds through a streaming reducer
+// and is dropped, and the full report renders from reducer state. The
+// interesting metric is peak-heap-MB next to the retained twin's — trace
+// retention, not simulation state, dominates the retained peak.
+func BenchmarkStreamingSuite(b *testing.B) {
+	sc := benchScaleLarge()
+	b.ResetTimer()
+	peak := experiments.PeakHeapDuring(func() {
+		for i := 0; i < b.N; i++ {
+			suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := suite.WriteReport(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(peak)/1e6, "peak-heap-MB")
 }
 
 // BenchmarkSimulateCell measures end-to-end cell simulation throughput.

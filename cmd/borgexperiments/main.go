@@ -10,9 +10,21 @@
 // affects the output of a given build: for the same binary, the same
 // seed yields the same report at every -parallel setting.
 //
+// Memory has a third switch: -stream runs the whole suite with
+// core.Options.NoMemTrace — every trace row is folded online by one
+// streaming reducer per cell (internal/analysis/streaming) and then
+// dropped, so resident memory is bounded by per-job reducer state
+// instead of growing with the horizon. The report is byte-identical to
+// the retained-trace path for the same scale and seed; CI enforces that
+// with a differential test and a peak-heap ceiling. -export DIR
+// additionally writes each cell's trace as sharded CSV (one WriteDir-
+// layout subdirectory per cell) while simulating, through the buffered
+// sink pipeline; it implies -stream.
+//
 // Usage:
 //
-//	borgexperiments [-scale small|default|large] [-seed N] [-parallel N] [-o report.txt]
+//	borgexperiments [-scale small|default|large] [-seed N] [-parallel N]
+//	                [-stream] [-export DIR] [-o report.txt]
 package main
 
 import (
@@ -33,6 +45,8 @@ func main() {
 	scaleName := flag.String("scale", "default", "simulation scale: small, default or large")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
+	stream := flag.Bool("stream", false, "run with NoMemTrace: fold rows through streaming reducers instead of retaining traces (same report bytes)")
+	export := flag.String("export", "", "write per-cell CSV trace shards to this directory while simulating (implies -stream)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
@@ -49,6 +63,9 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *parallel
+	if *export != "" {
+		*stream = true
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -69,11 +86,28 @@ func main() {
 		if effective <= 0 {
 			effective = runtime.GOMAXPROCS(0)
 		}
-		log.Printf("simulating 9 cells, parallelism=%d", effective)
+		mode := "retained traces"
+		if *stream {
+			mode = "streaming reducers (NoMemTrace)"
+		}
+		log.Printf("simulating 9 cells, parallelism=%d, %s", effective, mode)
 	}
-	suite := experiments.RunSuite(sc)
+
+	var report func(io.Writer) error
+	if *stream {
+		suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{ExportDir: *export})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *export != "" {
+			log.Printf("wrote 9 CSV shards under %s", *export)
+		}
+		report = suite.WriteReport
+	} else {
+		report = experiments.RunSuite(sc).WriteReport
+	}
 	fmt.Fprintf(w, "simulated 9 cells in %v\n\n", time.Since(start).Round(time.Millisecond))
-	if err := suite.WriteReport(w); err != nil {
+	if err := report(w); err != nil {
 		log.Fatal(err)
 	}
 }

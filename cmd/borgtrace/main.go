@@ -11,9 +11,19 @@
 // machines, hours, seed) tuple is byte-stable; traces are not promised
 // stable across versions of the simulator.
 //
+// By default the trace is retained in memory and written at the end
+// (which also enables the §9 invariant validator). With -stream the rows
+// are written to disk while the simulation runs, through a buffered
+// trace.DirSink, and nothing is retained: memory stays bounded no matter
+// how long the horizon, which is the mode for generating month-scale
+// traces. The two modes produce byte-identical CSV for the same seed;
+// -validate is unavailable under -stream because the validator needs the
+// retained trace.
+//
 // Usage:
 //
 //	borgtrace -era 2019 -cell b -machines 300 -hours 24 -seed 7 -out ./trace-b
+//	borgtrace -era 2019 -cell b -machines 300 -hours 720 -seed 7 -stream -out ./trace-b
 package main
 
 import (
@@ -35,7 +45,8 @@ func main() {
 	hours := flag.Float64("hours", 24, "simulated duration in hours")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	out := flag.String("out", "trace-out", "output directory")
-	validate := flag.Bool("validate", true, "run the §9 invariant validator before writing")
+	stream := flag.Bool("stream", false, "write CSV while simulating (NoMemTrace: bounded memory at any horizon; disables -validate)")
+	validate := flag.Bool("validate", true, "run the §9 invariant validator before writing (retained mode only)")
 	flag.Parse()
 
 	var profile *workload.CellProfile
@@ -47,9 +58,37 @@ func main() {
 	default:
 		log.Fatalf("unknown era %q", *era)
 	}
+	horizon := sim.FromHours(*hours)
+
+	if *stream {
+		meta := trace.Meta{
+			Era: profile.Era, Cell: profile.Name, Duration: horizon,
+			Machines: profile.Machines, Seed: *seed,
+		}
+		ds, err := trace.NewDirSink(*out, meta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := core.Run(profile, core.Options{
+			Horizon:    horizon,
+			Seed:       *seed,
+			NoMemTrace: true,
+			ExtraSinks: []trace.Sink{trace.NewBufferedSink(ds, 0)},
+		})
+		if err := ds.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("simulated cell %s: %d rows streamed", profile.Name, res.Rows.Total())
+		log.Printf("scheduler: %+v", res.Sched)
+		if *validate {
+			log.Printf("note: -validate is skipped under -stream (no retained trace)")
+		}
+		log.Printf("wrote trace to %s (streaming)", *out)
+		return
+	}
 
 	res := core.Run(profile, core.Options{
-		Horizon: sim.FromHours(*hours),
+		Horizon: horizon,
 		Seed:    *seed,
 	})
 	log.Printf("simulated cell %s: %s", profile.Name, res.Trace.Counts())

@@ -35,10 +35,14 @@
 //     engine.DeriveSeed, per-cell collection-ID spaces are disjoint via
 //     engine.IDBase, and therefore the same root seed yields
 //     byte-identical traces at any parallelism.
-//   - internal/analysis, internal/report, internal/experiments — the
-//     evaluation: experiments.RunSuite simulates the paper's nine cells
-//     (2011 plus 2019 a–h) through the engine and regenerates every
-//     table and figure.
+//   - internal/analysis, internal/analysis/streaming, internal/report,
+//     internal/experiments — the evaluation: experiments.RunSuite
+//     simulates the paper's nine cells (2011 plus 2019 a–h) through the
+//     engine and regenerates every table and figure. Each per-figure
+//     analysis is factored into a per-cell accumulation plus an exact
+//     merge, with two interchangeable front ends: post-hoc over a
+//     retained MemTrace, or online via streaming.CellReducer — a
+//     trace.Sink that folds rows as the simulation emits them.
 //
 // # Placement fast path
 //
@@ -61,9 +65,29 @@
 // draws (as the fast path did) legitimately shifts same-seed
 // trajectories relative to earlier commits.
 //
+// # Streaming analysis
+//
+// Trace retention, not simulation, used to bound suite horizons: every
+// figure was computed post-hoc over a fully retained MemTrace, so memory
+// grew with every usage record and life-cycle event. The streaming
+// reducers invert that: experiments.RunSuiteStreaming runs all nine
+// cells with core.Options.NoMemTrace, each cell's rows folding through
+// one streaming.CellReducer (and, optionally, a sharded CSV export via
+// trace.DirSink behind a BufferedSink) before being dropped. Reducer
+// state grows only with the number of jobs and tasks — the aggregates
+// the figures inherently need — cutting the LargeScale suite's peak heap
+// by ~10x (BENCH_PR4.json) while producing a report byte-identical to
+// the retained path: within a cell both paths fold the same terms in
+// emission order, and cross-cell merges share the same Finish/Merge
+// functions. CI pins this with differential tests (reducer vs post-hoc,
+// streamed report vs retained report), a benchmark-regression gate
+// against the checked-in baselines, and a peak-HeapAlloc ceiling on the
+// LargeScale streaming suite.
+//
 // The root-level benchmarks (bench_test.go) regenerate each table and
 // figure and measure the engine's parallel speedup; cmd/borgexperiments
 // prints the whole evaluation (-parallel N simulates N cells
-// concurrently without changing a byte of output). PAPER.md holds the
+// concurrently without changing a byte of output, -stream folds it
+// through the reducers without retaining a trace). PAPER.md holds the
 // source paper's abstract and ROADMAP.md the project direction.
 package repro

@@ -5,6 +5,13 @@
 // The cells simulate concurrently on the engine's worker pool; the
 // -parallel flag changes only how long that takes, never the numbers.
 //
+// The analysis here is fully streaming: each cell carries one
+// streaming.CellReducer and simulates with NoMemTrace, so no trace is
+// ever retained — every figure below is read from reducer state after
+// the rows were folded online and dropped. Memory stays bounded no
+// matter the horizon; the numbers are byte-identical to what post-hoc
+// analysis of a retained trace would produce.
+//
 //	go run ./examples/multicell [-parallel N]
 package main
 
@@ -16,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/streaming"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/report"
@@ -36,23 +44,32 @@ func main() {
 
 	cells := []string{"a", "b", "h"} // the paper's three named extremes
 	specs := make([]engine.Spec, len(cells))
+	reducers := make([]*streaming.CellReducer, len(cells))
 	for i, cell := range cells {
 		specs[i] = engine.NewSpec(i, workload.Profile2019(cell, machines),
-			core.Options{Horizon: horizon}, rootSeed)
+			core.Options{Horizon: horizon, NoMemTrace: true}, rootSeed)
+		reducers[i] = streaming.NewCellReducer(streaming.Config{
+			Meta: trace.Meta{
+				Era: trace.Era2019, Cell: cell, Duration: horizon,
+				Machines: machines, Seed: specs[i].Options.Seed,
+			},
+			SnapshotAt: horizon / 2,
+		})
 	}
+	engine.AttachSinks(specs, func(i int) trace.Sink { return reducers[i] })
 
-	fmt.Printf("simulating cells a (prod-heavy), b (beb-heavy), h (mid-heavy), parallelism=%d...\n", *parallel)
+	fmt.Printf("simulating cells a (prod-heavy), b (beb-heavy), h (mid-heavy), parallelism=%d, NoMemTrace...\n", *parallel)
 	start := time.Now()
-	var traces []*trace.MemTrace
 	var averages []analysis.TierAverages
 	// OnResult streams each cell's analysis in spec order while later
-	// cells may still be simulating.
+	// cells may still be simulating; the reducer already holds the
+	// folded state, so this reads it without touching any trace.
 	engine.Run(specs, engine.Options{
 		Parallelism: *parallel,
 		OnResult: func(i int, res *core.CellResult) {
-			traces = append(traces, res.Trace)
-			averages = append(averages, analysis.AverageUsageByTier(res.Trace, 3*sim.Hour))
-			fmt.Printf("  cell %s done: %d trace rows\n", cells[i], res.Rows.Total())
+			averages = append(averages, reducers[i].AverageUsageByTier(3*sim.Hour))
+			fmt.Printf("  cell %s done: %d rows folded, reducer state %s\n",
+				cells[i], res.Rows.Total(), reducers[i].Counts())
 		},
 	})
 	fmt.Printf("simulated %d cells in %v\n", len(cells), time.Since(start).Round(time.Millisecond))
@@ -83,8 +100,8 @@ func main() {
 
 	// Machine utilization medians differ between cells (Figure 6).
 	fmt.Println("\nmachine CPU utilization at mid-trace (Figure 6):")
-	for i, tr := range traces {
-		cpu, _ := analysis.MachineUtilization(tr, horizon/2)
+	for i, r := range reducers {
+		cpu, _ := r.MachineUtilization()
 		fmt.Printf("  cell %s: median %.2f  p90 %.2f\n",
 			cells[i], stats.Quantile(cpu, 0.5), stats.Quantile(cpu, 0.9))
 	}

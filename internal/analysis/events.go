@@ -14,22 +14,37 @@ type Transition struct {
 	Count    int
 }
 
+// TransitionCounts tallies consecutive event-type pairs; the key is
+// {from, to}.
+type TransitionCounts map[[2]string]int
+
+// Observe counts one edge.
+func (c TransitionCounts) Observe(from, to trace.EventType) {
+	c[[2]string{from.String(), to.String()}]++
+}
+
 // Transitions counts consecutive event-type pairs across all collections
 // and instances of a trace (Figure 7), sorted by count descending.
 func Transitions(tr *trace.MemTrace) []Transition {
-	counts := make(map[[2]string]int)
+	counts := make(TransitionCounts)
 	for _, id := range tr.Collections() {
 		evs := tr.EventsOf(id)
 		for i := 1; i < len(evs); i++ {
-			counts[[2]string{evs[i-1].Type.String(), evs[i].Type.String()}]++
+			counts.Observe(evs[i-1].Type, evs[i].Type)
 		}
 	}
 	for _, key := range tr.Instances() {
 		evs := tr.InstanceEventsOf(key)
 		for i := 1; i < len(evs); i++ {
-			counts[[2]string{evs[i-1].Type.String(), evs[i].Type.String()}]++
+			counts.Observe(evs[i-1].Type, evs[i].Type)
 		}
 	}
+	return TransitionsFromCounts(counts)
+}
+
+// TransitionsFromCounts sorts a tally into Figure 7's edge list (count
+// descending, then lexicographic).
+func TransitionsFromCounts(counts TransitionCounts) []Transition {
 	out := make([]Transition, 0, len(counts))
 	for k, n := range counts {
 		out = append(out, Transition{From: k[0], To: k[1], Count: n})
@@ -59,78 +74,132 @@ type AllocSetStats struct {
 	MemUtilOutside   float64 // (paper: 41%)
 }
 
-// AllocSets computes §5.1's statistics over one or more cells.
-func AllocSets(traces []*trace.MemTrace) AllocSetStats {
-	var st AllocSetStats
-	var cpuAlloc, cpuAllocSets, memAlloc, memAllocSets float64
-	var jobs, inAlloc, prodInAlloc int
-	var memUtilIn, memUtilOut, weightIn, weightOut float64
+// AllocSetAccum is one cell's partial accumulation of §5.1's statistics.
+// Counts are exact and the float sums fold usage records in emission
+// order, so an accumulation built online by a streaming reducer is
+// bit-identical to one built post-hoc from the retained trace.
+type AllocSetAccum struct {
+	Collections, AllocSets     int
+	Jobs, InAlloc, ProdInAlloc int
+	CPUAlloc, CPUAllocSets     float64
+	MemAlloc, MemAllocSets     float64
+	MemUtilIn, MemUtilOut      float64
+	WeightIn, WeightOut        float64
+}
 
-	for _, tr := range traces {
-		isAllocSet := make(map[trace.CollectionID]bool)
-		inAllocSet := make(map[trace.CollectionID]bool)
-		for _, info := range tr.CollectionInfos() {
-			st.Collections++
-			if info.CollectionType == trace.CollectionAllocSet {
-				st.AllocSets++
-				isAllocSet[info.ID] = true
-				continue
-			}
-			jobs++
-			if info.AllocSet != 0 {
-				inAlloc++
-				inAllocSet[info.ID] = true
-				if info.Tier == trace.TierProduction {
-					prodInAlloc++
-				}
-			}
-		}
-		for _, rec := range tr.UsageRecords {
-			switch {
-			case isAllocSet[rec.Key.Collection]:
-				cpuAllocSets += rec.Limit.CPU
-				memAllocSets += rec.Limit.Mem
-				cpuAlloc += rec.Limit.CPU
-				memAlloc += rec.Limit.Mem
-			case inAllocSet[rec.Key.Collection]:
-				// Consumes its alloc set's reservation, not fresh
-				// allocation; contributes to utilization-inside.
-				if rec.Limit.Mem > 0 {
-					memUtilIn += rec.AvgUsage.Mem / rec.Limit.Mem
-					weightIn++
-				}
-			default:
-				cpuAlloc += rec.Limit.CPU
-				memAlloc += rec.Limit.Mem
-				if rec.Limit.Mem > 0 {
-					memUtilOut += rec.AvgUsage.Mem / rec.Limit.Mem
-					weightOut++
-				}
-			}
+// ObserveCollection counts one collection's static attributes.
+func (a *AllocSetAccum) ObserveCollection(ct trace.CollectionType, allocSet trace.CollectionID, tier trace.Tier) {
+	a.Collections++
+	if ct == trace.CollectionAllocSet {
+		a.AllocSets++
+		return
+	}
+	a.Jobs++
+	if allocSet != 0 {
+		a.InAlloc++
+		if tier == trace.TierProduction {
+			a.ProdInAlloc++
 		}
 	}
-	if st.Collections > 0 {
-		st.AllocSetShare = float64(st.AllocSets) / float64(st.Collections)
+}
+
+// ObserveUsage folds one usage record, categorized by its collection:
+// the record belongs to an alloc set, to a job inside an alloc set, or to
+// a free-standing job.
+func (a *AllocSetAccum) ObserveUsage(rec trace.UsageRecord, isAllocSet, inAllocSet bool) {
+	switch {
+	case isAllocSet:
+		a.CPUAllocSets += rec.Limit.CPU
+		a.MemAllocSets += rec.Limit.Mem
+		a.CPUAlloc += rec.Limit.CPU
+		a.MemAlloc += rec.Limit.Mem
+	case inAllocSet:
+		// Consumes its alloc set's reservation, not fresh allocation;
+		// contributes to utilization-inside.
+		if rec.Limit.Mem > 0 {
+			a.MemUtilIn += rec.AvgUsage.Mem / rec.Limit.Mem
+			a.WeightIn++
+		}
+	default:
+		a.CPUAlloc += rec.Limit.CPU
+		a.MemAlloc += rec.Limit.Mem
+		if rec.Limit.Mem > 0 {
+			a.MemUtilOut += rec.AvgUsage.Mem / rec.Limit.Mem
+			a.WeightOut++
+		}
 	}
-	if cpuAlloc > 0 {
-		st.CPUAllocShare = cpuAllocSets / cpuAlloc
+}
+
+// FinishAllocSets merges per-cell partials in order and derives §5.1's
+// ratios.
+func FinishAllocSets(accums []AllocSetAccum) AllocSetStats {
+	var t AllocSetAccum
+	for _, a := range accums {
+		t.Collections += a.Collections
+		t.AllocSets += a.AllocSets
+		t.Jobs += a.Jobs
+		t.InAlloc += a.InAlloc
+		t.ProdInAlloc += a.ProdInAlloc
+		t.CPUAlloc += a.CPUAlloc
+		t.CPUAllocSets += a.CPUAllocSets
+		t.MemAlloc += a.MemAlloc
+		t.MemAllocSets += a.MemAllocSets
+		t.MemUtilIn += a.MemUtilIn
+		t.MemUtilOut += a.MemUtilOut
+		t.WeightIn += a.WeightIn
+		t.WeightOut += a.WeightOut
 	}
-	if memAlloc > 0 {
-		st.MemAllocShare = memAllocSets / memAlloc
+	st := AllocSetStats{Collections: t.Collections, AllocSets: t.AllocSets}
+	if t.Collections > 0 {
+		st.AllocSetShare = float64(t.AllocSets) / float64(t.Collections)
 	}
-	if jobs > 0 {
-		st.JobsInAllocShare = float64(inAlloc) / float64(jobs)
+	if t.CPUAlloc > 0 {
+		st.CPUAllocShare = t.CPUAllocSets / t.CPUAlloc
 	}
-	if inAlloc > 0 {
-		st.ProdShareInAlloc = float64(prodInAlloc) / float64(inAlloc)
+	if t.MemAlloc > 0 {
+		st.MemAllocShare = t.MemAllocSets / t.MemAlloc
 	}
-	if weightIn > 0 {
-		st.MemUtilInAlloc = memUtilIn / weightIn
+	if t.Jobs > 0 {
+		st.JobsInAllocShare = float64(t.InAlloc) / float64(t.Jobs)
 	}
-	if weightOut > 0 {
-		st.MemUtilOutside = memUtilOut / weightOut
+	if t.InAlloc > 0 {
+		st.ProdShareInAlloc = float64(t.ProdInAlloc) / float64(t.InAlloc)
+	}
+	if t.WeightIn > 0 {
+		st.MemUtilInAlloc = t.MemUtilIn / t.WeightIn
+	}
+	if t.WeightOut > 0 {
+		st.MemUtilOutside = t.MemUtilOut / t.WeightOut
 	}
 	return st
+}
+
+// AllocSetAccumOf builds one trace's partial post-hoc.
+func AllocSetAccumOf(tr *trace.MemTrace) AllocSetAccum {
+	var a AllocSetAccum
+	isAllocSet := make(map[trace.CollectionID]bool)
+	inAllocSet := make(map[trace.CollectionID]bool)
+	for _, info := range tr.CollectionInfos() {
+		a.ObserveCollection(info.CollectionType, info.AllocSet, info.Tier)
+		if info.CollectionType == trace.CollectionAllocSet {
+			isAllocSet[info.ID] = true
+		} else if info.AllocSet != 0 {
+			inAllocSet[info.ID] = true
+		}
+	}
+	for _, rec := range tr.UsageRecords {
+		a.ObserveUsage(rec, isAllocSet[rec.Key.Collection], inAllocSet[rec.Key.Collection])
+	}
+	return a
+}
+
+// AllocSets computes §5.1's statistics over one or more cells.
+func AllocSets(traces []*trace.MemTrace) AllocSetStats {
+	accums := make([]AllocSetAccum, len(traces))
+	for i, tr := range traces {
+		accums[i] = AllocSetAccumOf(tr)
+	}
+	return FinishAllocSets(accums)
 }
 
 // TerminationStats reproduces §5.2's findings.
@@ -157,74 +226,120 @@ type TerminationStats struct {
 	KillRateWithoutParent float64
 }
 
-// Terminations computes §5.2's statistics over one or more cells.
-func Terminations(traces []*trace.MemTrace) TerminationStats {
-	st := TerminationStats{ByFinal: make(map[trace.EventType]int)}
-	var evicted, prod, prodEvicted, prodEvictedOnce, nonProdEvicted int
-	var withParent, withParentKilled, withoutParent, withoutParentKilled int
+// TerminationAccum is one cell's partial accumulation of §5.2's counts.
+// Everything is integral, so per-cell partials merge exactly.
+type TerminationAccum struct {
+	Collections                                 int
+	ByFinal                                     [trace.NumEventTypes]int
+	Evicted, Prod, ProdEvicted, ProdEvictedOnce int
+	NonProdEvicted                              int
+	WithParent, WithParentKilled                int
+	WithoutParent, WithoutParentKilled          int
+}
 
-	for _, tr := range traces {
-		// Count instance evictions per collection.
-		evictions := make(map[trace.CollectionID]int)
-		for _, ev := range tr.InstanceEvents {
-			if ev.Type == trace.EventEvict {
-				evictions[ev.Key.Collection]++
+// ObserveCollection counts one collection's outcome; evictions is the
+// number of instance EVICT events its instances logged.
+func (a *TerminationAccum) ObserveCollection(info trace.CollectionInfo, evictions int) {
+	a.Collections++
+	a.ByFinal[info.FinalEvent]++
+	if evictions > 0 {
+		a.Evicted++
+		if info.Tier == trace.TierProduction {
+			a.ProdEvicted++
+			if evictions == 1 {
+				a.ProdEvictedOnce++
 			}
-		}
-		for _, info := range tr.CollectionInfos() {
-			st.Collections++
-			st.ByFinal[info.FinalEvent]++
-			n := evictions[info.ID]
-			if n > 0 {
-				evicted++
-				if info.Tier == trace.TierProduction {
-					prodEvicted++
-					if n == 1 {
-						prodEvictedOnce++
-					}
-				} else {
-					nonProdEvicted++
-				}
-			}
-			if info.Tier == trace.TierProduction {
-				prod++
-			}
-			if info.CollectionType != trace.CollectionJob {
-				continue
-			}
-			killed := info.FinalEvent == trace.EventKill
-			if info.Parent != 0 {
-				withParent++
-				if killed {
-					withParentKilled++
-				}
-			} else {
-				withoutParent++
-				if killed {
-					withoutParentKilled++
-				}
-			}
+		} else {
+			a.NonProdEvicted++
 		}
 	}
-	if st.Collections > 0 {
-		st.CollectionsWithEviction = float64(evicted) / float64(st.Collections)
+	if info.Tier == trace.TierProduction {
+		a.Prod++
 	}
-	if evicted > 0 {
-		st.NonProdShareOfEvicted = float64(nonProdEvicted) / float64(evicted)
+	if info.CollectionType != trace.CollectionJob {
+		return
 	}
-	if prod > 0 {
-		st.ProdEvictedShare = float64(prodEvicted) / float64(prod)
+	killed := info.FinalEvent == trace.EventKill
+	if info.Parent != 0 {
+		a.WithParent++
+		if killed {
+			a.WithParentKilled++
+		}
+	} else {
+		a.WithoutParent++
+		if killed {
+			a.WithoutParentKilled++
+		}
 	}
-	if prodEvicted > 0 {
-		st.SingleEvictionShare = float64(prodEvictedOnce) / float64(prodEvicted)
+}
+
+// FinishTerminations merges per-cell partials and derives §5.2's ratios.
+func FinishTerminations(accums []TerminationAccum) TerminationStats {
+	var t TerminationAccum
+	for _, a := range accums {
+		t.Collections += a.Collections
+		for e := range t.ByFinal {
+			t.ByFinal[e] += a.ByFinal[e]
+		}
+		t.Evicted += a.Evicted
+		t.Prod += a.Prod
+		t.ProdEvicted += a.ProdEvicted
+		t.ProdEvictedOnce += a.ProdEvictedOnce
+		t.NonProdEvicted += a.NonProdEvicted
+		t.WithParent += a.WithParent
+		t.WithParentKilled += a.WithParentKilled
+		t.WithoutParent += a.WithoutParent
+		t.WithoutParentKilled += a.WithoutParentKilled
 	}
-	if withParent > 0 {
-		st.KillRateWithParent = float64(withParentKilled) / float64(withParent)
+	st := TerminationStats{Collections: t.Collections, ByFinal: make(map[trace.EventType]int)}
+	for e, n := range t.ByFinal {
+		if n > 0 {
+			st.ByFinal[trace.EventType(e)] = n
+		}
 	}
-	if withoutParent > 0 {
-		st.KillRateWithoutParent = float64(withoutParentKilled) / float64(withoutParent)
+	if t.Collections > 0 {
+		st.CollectionsWithEviction = float64(t.Evicted) / float64(t.Collections)
+	}
+	if t.Evicted > 0 {
+		st.NonProdShareOfEvicted = float64(t.NonProdEvicted) / float64(t.Evicted)
+	}
+	if t.Prod > 0 {
+		st.ProdEvictedShare = float64(t.ProdEvicted) / float64(t.Prod)
+	}
+	if t.ProdEvicted > 0 {
+		st.SingleEvictionShare = float64(t.ProdEvictedOnce) / float64(t.ProdEvicted)
+	}
+	if t.WithParent > 0 {
+		st.KillRateWithParent = float64(t.WithParentKilled) / float64(t.WithParent)
+	}
+	if t.WithoutParent > 0 {
+		st.KillRateWithoutParent = float64(t.WithoutParentKilled) / float64(t.WithoutParent)
 	}
 	return st
+}
+
+// TerminationAccumOf builds one trace's partial post-hoc.
+func TerminationAccumOf(tr *trace.MemTrace) TerminationAccum {
+	var a TerminationAccum
+	evictions := make(map[trace.CollectionID]int)
+	for _, ev := range tr.InstanceEvents {
+		if ev.Type == trace.EventEvict {
+			evictions[ev.Key.Collection]++
+		}
+	}
+	for _, info := range tr.CollectionInfos() {
+		a.ObserveCollection(info, evictions[info.ID])
+	}
+	return a
+}
+
+// Terminations computes §5.2's statistics over one or more cells.
+func Terminations(traces []*trace.MemTrace) TerminationStats {
+	accums := make([]TerminationAccum, len(traces))
+	for i, tr := range traces {
+		accums[i] = TerminationAccumOf(tr)
+	}
+	return FinishTerminations(accums)
 }
 
 // SubmissionRates holds Figures 8 and 9's hourly rate samples for one or
@@ -235,118 +350,183 @@ type SubmissionRates struct {
 	AllTasksPerHour []float64 // all instance SUBMITs incl. rescheduling
 }
 
-// Rates computes per-hour submission counts. Alloc sets are excluded from
-// the job counts, matching the paper's job-centric view.
-func Rates(traces []*trace.MemTrace) SubmissionRates {
+// MergeRates concatenates per-cell samples in cell order.
+func MergeRates(cells []SubmissionRates) SubmissionRates {
 	var out SubmissionRates
-	for _, tr := range traces {
-		hours := int(tr.Meta.Duration / sim.Hour)
-		if hours <= 0 {
-			hours = 1
-		}
-		jobs := make([]float64, hours)
-		newTasks := make([]float64, hours)
-		allTasks := make([]float64, hours)
-
-		isJob := make(map[trace.CollectionID]bool)
-		for _, info := range tr.CollectionInfos() {
-			if info.CollectionType == trace.CollectionJob {
-				isJob[info.ID] = true
-			}
-		}
-		for _, ev := range tr.CollectionEvents {
-			if ev.Type == trace.EventSubmit && isJob[ev.Collection] {
-				if h := int(ev.Time / sim.Hour); h >= 0 && h < hours {
-					jobs[h]++
-				}
-			}
-		}
-		seen := make(map[trace.InstanceKey]bool)
-		for _, ev := range tr.InstanceEvents {
-			if ev.Type != trace.EventSubmit || !isJob[ev.Key.Collection] {
-				continue
-			}
-			h := int(ev.Time / sim.Hour)
-			if h < 0 || h >= hours {
-				continue
-			}
-			allTasks[h]++
-			if !seen[ev.Key] {
-				seen[ev.Key] = true
-				newTasks[h]++
-			}
-		}
-		out.JobsPerHour = append(out.JobsPerHour, jobs...)
-		out.NewTasksPerHour = append(out.NewTasksPerHour, newTasks...)
-		out.AllTasksPerHour = append(out.AllTasksPerHour, allTasks...)
+	for _, c := range cells {
+		out.JobsPerHour = append(out.JobsPerHour, c.JobsPerHour...)
+		out.NewTasksPerHour = append(out.NewTasksPerHour, c.NewTasksPerHour...)
+		out.AllTasksPerHour = append(out.AllTasksPerHour, c.AllTasksPerHour...)
 	}
 	return out
 }
 
-// SchedulingDelays returns per-job scheduling delays in seconds — the time
-// from the job's ENABLE (ready) to its first task running (Figure 10) —
-// overall and split by tier.
-func SchedulingDelays(traces []*trace.MemTrace) (all []float64, byTier map[trace.Tier][]float64) {
-	byTier = make(map[trace.Tier][]float64)
-	for _, tr := range traces {
-		enable := make(map[trace.CollectionID]sim.Time)
-		tier := make(map[trace.CollectionID]trace.Tier)
-		for _, ev := range tr.CollectionEvents {
-			if ev.Type == trace.EventEnable && ev.CollectionType == trace.CollectionJob {
-				if _, ok := enable[ev.Collection]; !ok {
-					enable[ev.Collection] = ev.Time
-					tier[ev.Collection] = ev.Tier
-				}
-			}
-		}
-		first := make(map[trace.CollectionID]sim.Time)
-		for _, ev := range tr.InstanceEvents {
-			if ev.Type != trace.EventSchedule {
-				continue
-			}
-			if cur, ok := first[ev.Key.Collection]; !ok || ev.Time < cur {
-				first[ev.Key.Collection] = ev.Time
-			}
-		}
-		ids := make([]trace.CollectionID, 0, len(enable))
-		for id := range enable {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			fr, ok := first[id]
-			if !ok {
-				continue // never ran inside the trace window
-			}
-			d := (fr - enable[id]).Seconds()
-			if d < 0 {
-				continue
-			}
-			all = append(all, d)
-			byTier[tier[id]] = append(byTier[tier[id]], d)
+// RatesOf computes one cell's per-hour submission counts. Alloc sets are
+// excluded from the job counts, matching the paper's job-centric view.
+func RatesOf(tr *trace.MemTrace) SubmissionRates {
+	hours := SeriesHours(tr.Meta.Duration)
+	out := SubmissionRates{
+		JobsPerHour:     make([]float64, hours),
+		NewTasksPerHour: make([]float64, hours),
+		AllTasksPerHour: make([]float64, hours),
+	}
+	isJob := make(map[trace.CollectionID]bool)
+	for _, info := range tr.CollectionInfos() {
+		if info.CollectionType == trace.CollectionJob {
+			isJob[info.ID] = true
 		}
 	}
-	return all, byTier
+	for _, ev := range tr.CollectionEvents {
+		if ev.Type == trace.EventSubmit && isJob[ev.Collection] {
+			if h := int(ev.Time / sim.Hour); h >= 0 && h < hours {
+				out.JobsPerHour[h]++
+			}
+		}
+	}
+	seen := make(map[trace.InstanceKey]bool)
+	for _, ev := range tr.InstanceEvents {
+		if ev.Type != trace.EventSubmit || !isJob[ev.Key.Collection] {
+			continue
+		}
+		h := int(ev.Time / sim.Hour)
+		if h < 0 || h >= hours {
+			continue
+		}
+		out.AllTasksPerHour[h]++
+		if !seen[ev.Key] {
+			seen[ev.Key] = true
+			out.NewTasksPerHour[h]++
+		}
+	}
+	return out
+}
+
+// Rates computes per-hour submission counts over one or more cells.
+func Rates(traces []*trace.MemTrace) SubmissionRates {
+	cells := make([]SubmissionRates, len(traces))
+	for i, tr := range traces {
+		cells[i] = RatesOf(tr)
+	}
+	return MergeRates(cells)
+}
+
+// DelaySamples holds Figure 10's per-job scheduling delays in seconds —
+// the time from the job's ENABLE (ready) to its first task running —
+// overall and split by tier.
+type DelaySamples struct {
+	All    []float64
+	ByTier map[trace.Tier][]float64
+}
+
+// MergeDelays concatenates per-cell samples in cell order.
+func MergeDelays(cells []DelaySamples) DelaySamples {
+	out := DelaySamples{ByTier: make(map[trace.Tier][]float64)}
+	for _, c := range cells {
+		out.All = append(out.All, c.All...)
+		for tier, xs := range c.ByTier {
+			out.ByTier[tier] = append(out.ByTier[tier], xs...)
+		}
+	}
+	return out
+}
+
+// DelaysOf computes one cell's scheduling delays post-hoc.
+func DelaysOf(tr *trace.MemTrace) DelaySamples {
+	enable := make(map[trace.CollectionID]sim.Time)
+	tier := make(map[trace.CollectionID]trace.Tier)
+	for _, ev := range tr.CollectionEvents {
+		if ev.Type == trace.EventEnable && ev.CollectionType == trace.CollectionJob {
+			if _, ok := enable[ev.Collection]; !ok {
+				enable[ev.Collection] = ev.Time
+				tier[ev.Collection] = ev.Tier
+			}
+		}
+	}
+	first := make(map[trace.CollectionID]sim.Time)
+	for _, ev := range tr.InstanceEvents {
+		if ev.Type != trace.EventSchedule {
+			continue
+		}
+		if cur, ok := first[ev.Key.Collection]; !ok || ev.Time < cur {
+			first[ev.Key.Collection] = ev.Time
+		}
+	}
+	return FinishDelays(enable, tier, first)
+}
+
+// FinishDelays derives the delay samples from the first-ENABLE and
+// first-SCHEDULE indexes, in ascending collection-ID order. Jobs that
+// never ran inside the trace window are skipped.
+func FinishDelays(enable map[trace.CollectionID]sim.Time, tier map[trace.CollectionID]trace.Tier,
+	first map[trace.CollectionID]sim.Time) DelaySamples {
+	out := DelaySamples{ByTier: make(map[trace.Tier][]float64)}
+	ids := make([]trace.CollectionID, 0, len(enable))
+	for id := range enable {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fr, ok := first[id]
+		if !ok {
+			continue // never ran inside the trace window
+		}
+		d := (fr - enable[id]).Seconds()
+		if d < 0 {
+			continue
+		}
+		out.All = append(out.All, d)
+		out.ByTier[tier[id]] = append(out.ByTier[tier[id]], d)
+	}
+	return out
+}
+
+// SchedulingDelays returns per-job scheduling delays in seconds (Figure
+// 10) over one or more cells, overall and split by tier.
+func SchedulingDelays(traces []*trace.MemTrace) (all []float64, byTier map[trace.Tier][]float64) {
+	cells := make([]DelaySamples, len(traces))
+	for i, tr := range traces {
+		cells[i] = DelaysOf(tr)
+	}
+	merged := MergeDelays(cells)
+	return merged.All, merged.ByTier
+}
+
+// MergeSamplesBy concatenates per-cell keyed sample groups in cell order.
+func MergeSamplesBy[K comparable](cells []map[K][]float64) map[K][]float64 {
+	out := make(map[K][]float64)
+	for _, c := range cells {
+		for k, xs := range c {
+			out[k] = append(out[k], xs...)
+		}
+	}
+	return out
+}
+
+// TasksPerJobOf returns one cell's task-count distribution by tier.
+func TasksPerJobOf(tr *trace.MemTrace) map[trace.Tier][]float64 {
+	out := make(map[trace.Tier][]float64)
+	counts := make(map[trace.CollectionID]int)
+	for _, key := range tr.Instances() {
+		counts[key.Collection]++
+	}
+	for _, info := range tr.CollectionInfos() {
+		if info.CollectionType != trace.CollectionJob {
+			continue
+		}
+		if n := counts[info.ID]; n > 0 {
+			out[info.Tier] = append(out[info.Tier], float64(n))
+		}
+	}
+	return out
 }
 
 // TasksPerJob returns the task-count distribution by tier (Figure 11).
 func TasksPerJob(traces []*trace.MemTrace) map[trace.Tier][]float64 {
-	out := make(map[trace.Tier][]float64)
-	for _, tr := range traces {
-		counts := make(map[trace.CollectionID]int)
-		for _, key := range tr.Instances() {
-			counts[key.Collection]++
-		}
-		for _, info := range tr.CollectionInfos() {
-			if info.CollectionType != trace.CollectionJob {
-				continue
-			}
-			if n := counts[info.ID]; n > 0 {
-				out[info.Tier] = append(out[info.Tier], float64(n))
-			}
-		}
+	cells := make([]map[trace.Tier][]float64, len(traces))
+	for i, tr := range traces {
+		cells[i] = TasksPerJobOf(tr)
 	}
-	return out
+	return MergeSamplesBy(cells)
 }
 
 // FormatTransition renders a transition edge for reports.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -17,38 +18,62 @@ type UsageIntegrals struct {
 	MemHours []float64
 }
 
+// MergeIntegrals concatenates per-cell integrals in cell order.
+func MergeIntegrals(cells []UsageIntegrals) UsageIntegrals {
+	var out UsageIntegrals
+	for _, c := range cells {
+		out.CPUHours = append(out.CPUHours, c.CPUHours...)
+		out.MemHours = append(out.MemHours, c.MemHours...)
+	}
+	return out
+}
+
+// FinishIntegrals orders per-job resource-hour sums by ascending
+// collection ID into the figure-ready sample slices. Only jobs present in
+// the cpu map (i.e. with at least one usage record) are emitted.
+func FinishIntegrals(cpu, mem map[trace.CollectionID]float64) UsageIntegrals {
+	var out UsageIntegrals
+	ids := make([]trace.CollectionID, 0, len(cpu))
+	for id := range cpu {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		out.CPUHours = append(out.CPUHours, cpu[id])
+		out.MemHours = append(out.MemHours, mem[id])
+	}
+	return out
+}
+
+// JobUsageIntegralsOf integrates one cell's jobs post-hoc.
+func JobUsageIntegralsOf(tr *trace.MemTrace) UsageIntegrals {
+	isJob := make(map[trace.CollectionID]bool)
+	for _, info := range tr.CollectionInfos() {
+		if info.CollectionType == trace.CollectionJob {
+			isJob[info.ID] = true
+		}
+	}
+	cpu := make(map[trace.CollectionID]float64)
+	mem := make(map[trace.CollectionID]float64)
+	for _, rec := range tr.UsageRecords {
+		if !isJob[rec.Key.Collection] {
+			continue
+		}
+		h := (rec.End - rec.Start).Hours()
+		cpu[rec.Key.Collection] += rec.AvgUsage.CPU * h
+		mem[rec.Key.Collection] += rec.AvgUsage.Mem * h
+	}
+	return FinishIntegrals(cpu, mem)
+}
+
 // JobUsageIntegrals integrates every job's usage records over time.
 // Alloc sets are excluded (they reserve rather than use).
 func JobUsageIntegrals(traces []*trace.MemTrace) UsageIntegrals {
-	var out UsageIntegrals
-	for _, tr := range traces {
-		isJob := make(map[trace.CollectionID]bool)
-		for _, info := range tr.CollectionInfos() {
-			if info.CollectionType == trace.CollectionJob {
-				isJob[info.ID] = true
-			}
-		}
-		cpu := make(map[trace.CollectionID]float64)
-		mem := make(map[trace.CollectionID]float64)
-		for _, rec := range tr.UsageRecords {
-			if !isJob[rec.Key.Collection] {
-				continue
-			}
-			h := (rec.End - rec.Start).Hours()
-			cpu[rec.Key.Collection] += rec.AvgUsage.CPU * h
-			mem[rec.Key.Collection] += rec.AvgUsage.Mem * h
-		}
-		ids := make([]trace.CollectionID, 0, len(cpu))
-		for id := range cpu {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			out.CPUHours = append(out.CPUHours, cpu[id])
-			out.MemHours = append(out.MemHours, mem[id])
-		}
+	cells := make([]UsageIntegrals, len(traces))
+	for i, tr := range traces {
+		cells[i] = JobUsageIntegralsOf(tr)
 	}
-	return out
+	return MergeIntegrals(cells)
 }
 
 // Table2Column holds one column of the paper's Table 2: the distribution
@@ -149,32 +174,52 @@ func CPUMemCorrelation(integrals UsageIntegrals, maxBucket int) (points []Bucket
 	return points, pearson
 }
 
-// SlackSamples groups per-record peak NCU slack percentages by the owning
-// collection's vertical-scaling strategy (Figure 14):
+// SlackSampleOf computes one usage record's peak NCU slack percentage:
 //
 //	peak NCU slack = max(0, limit − max usage) / limit.
-func SlackSamples(traces []*trace.MemTrace) map[trace.VerticalScaling][]float64 {
+//
+// The second return is false when the record carries no CPU limit.
+func SlackSampleOf(rec trace.UsageRecord) (float64, bool) {
+	if rec.Limit.CPU <= 0 {
+		return 0, false
+	}
+	slack := (rec.Limit.CPU - rec.MaxUsage.CPU) / rec.Limit.CPU
+	if slack < 0 {
+		slack = 0
+	}
+	return slack * 100, true
+}
+
+// SlackSamplesOf groups one cell's per-record slack samples by the owning
+// collection's vertical-scaling strategy.
+func SlackSamplesOf(tr *trace.MemTrace) map[trace.VerticalScaling][]float64 {
 	out := make(map[trace.VerticalScaling][]float64)
-	for _, tr := range traces {
-		scaling := make(map[trace.CollectionID]trace.VerticalScaling)
-		isJob := make(map[trace.CollectionID]bool)
-		for _, info := range tr.CollectionInfos() {
-			scaling[info.ID] = info.Scaling
-			isJob[info.ID] = info.CollectionType == trace.CollectionJob
+	scaling := make(map[trace.CollectionID]trace.VerticalScaling)
+	isJob := make(map[trace.CollectionID]bool)
+	for _, info := range tr.CollectionInfos() {
+		scaling[info.ID] = info.Scaling
+		isJob[info.ID] = info.CollectionType == trace.CollectionJob
+	}
+	for _, rec := range tr.UsageRecords {
+		if !isJob[rec.Key.Collection] {
+			continue
 		}
-		for _, rec := range tr.UsageRecords {
-			if !isJob[rec.Key.Collection] || rec.Limit.CPU <= 0 {
-				continue
-			}
-			slack := (rec.Limit.CPU - rec.MaxUsage.CPU) / rec.Limit.CPU
-			if slack < 0 {
-				slack = 0
-			}
+		if s, ok := SlackSampleOf(rec); ok {
 			mode := scaling[rec.Key.Collection]
-			out[mode] = append(out[mode], slack*100)
+			out[mode] = append(out[mode], s)
 		}
 	}
 	return out
+}
+
+// SlackSamples groups per-record peak NCU slack percentages by the owning
+// collection's vertical-scaling strategy (Figure 14).
+func SlackSamples(traces []*trace.MemTrace) map[trace.VerticalScaling][]float64 {
+	cells := make([]map[trace.VerticalScaling][]float64, len(traces))
+	for i, tr := range traces {
+		cells[i] = SlackSamplesOf(tr)
+	}
+	return MergeSamplesBy(cells)
 }
 
 // Table1Row is one row of Table 1's trace comparison.
@@ -184,83 +229,140 @@ type Table1Row struct {
 	V2019  string
 }
 
-// Table1 rebuilds the paper's Table 1 from generated traces.
-func Table1(t2011 *trace.MemTrace, t2019 []*trace.MemTrace) []Table1Row {
-	count2011 := traceInventory([]*trace.MemTrace{t2011})
-	count2019 := traceInventory(t2019)
+// Inventory is one cell's Table 1 metadata: machine population, hardware
+// diversity, priority range and feature flags. It can be built post-hoc
+// (InventoryOf) or online by a streaming reducer, and merged exactly
+// across cells.
+type Inventory struct {
+	Machines     int
+	Platforms    map[string]bool
+	Shapes       map[trace.Resources]bool
+	MinPriority  int // math.MaxInt32 when no collection was seen
+	MaxPriority  int // -1 when no collection was seen
+	AllocSets    bool
+	Dependencies bool
+	BatchQueue   bool
+	Vertical     bool
+}
+
+// NewInventory returns an empty inventory.
+func NewInventory() Inventory {
+	return Inventory{
+		Platforms:   make(map[string]bool),
+		Shapes:      make(map[trace.Resources]bool),
+		MinPriority: math.MaxInt32,
+		MaxPriority: -1,
+	}
+}
+
+// ObserveMachine counts one machine of the final capacity snapshot.
+func (v *Inventory) ObserveMachine(ev trace.MachineEvent) {
+	v.Machines++
+	v.Platforms[ev.Platform] = true
+	v.Shapes[ev.Capacity] = true
+}
+
+// ObserveCollection folds one collection's static attributes.
+func (v *Inventory) ObserveCollection(info trace.CollectionInfo) {
+	if info.Priority < v.MinPriority {
+		v.MinPriority = info.Priority
+	}
+	if info.Priority > v.MaxPriority {
+		v.MaxPriority = info.Priority
+	}
+	if info.CollectionType == trace.CollectionAllocSet {
+		v.AllocSets = true
+	}
+	if info.Parent != 0 {
+		v.Dependencies = true
+	}
+	if info.Scaling != trace.ScalingNone {
+		v.Vertical = true
+	}
+}
+
+// MergeInventories combines per-cell inventories.
+func MergeInventories(cells []Inventory) Inventory {
+	out := NewInventory()
+	for _, c := range cells {
+		out.Machines += c.Machines
+		for p := range c.Platforms {
+			out.Platforms[p] = true
+		}
+		for s := range c.Shapes {
+			out.Shapes[s] = true
+		}
+		if c.MinPriority < out.MinPriority {
+			out.MinPriority = c.MinPriority
+		}
+		if c.MaxPriority > out.MaxPriority {
+			out.MaxPriority = c.MaxPriority
+		}
+		out.AllocSets = out.AllocSets || c.AllocSets
+		out.Dependencies = out.Dependencies || c.Dependencies
+		out.BatchQueue = out.BatchQueue || c.BatchQueue
+		out.Vertical = out.Vertical || c.Vertical
+	}
+	return out
+}
+
+func (v Inventory) prioRange() string {
+	if v.MaxPriority < 0 {
+		return ""
+	}
+	return fmtI(v.MinPriority) + "–" + fmtI(v.MaxPriority)
+}
+
+// InventoryOf builds one trace's inventory post-hoc.
+func InventoryOf(tr *trace.MemTrace) Inventory {
+	inv := NewInventory()
+	for _, ev := range tr.MachineCapacities() {
+		inv.ObserveMachine(ev)
+	}
+	for _, info := range tr.CollectionInfos() {
+		inv.ObserveCollection(info)
+	}
+	for _, ev := range tr.CollectionEvents {
+		if ev.Type == trace.EventQueue {
+			inv.BatchQueue = true
+		}
+	}
+	return inv
+}
+
+// Table1FromInventories rebuilds the paper's Table 1 from merged per-era
+// inventories plus the trace durations and the 2019 cell count.
+func Table1FromInventories(count2011 Inventory, dur2011 sim.Time,
+	count2019 Inventory, dur2019 sim.Time, cells2019 int) []Table1Row {
 	boolStr := func(b bool) string {
 		if b {
 			return "Y"
 		}
 		return "–"
 	}
-	rows := []Table1Row{
-		{"Duration (days)", fmtF(t2011.Meta.Duration.Hours() / 24), fmtF(t2019[0].Meta.Duration.Hours() / 24)},
-		{"Cells", "1", fmtI(len(t2019))},
-		{"Machines", fmtI(count2011.machines), fmtI(count2019.machines)},
-		{"Machines per cell", fmtI(count2011.machines), fmtI(count2019.machines / len(t2019))},
-		{"Hardware platforms", fmtI(count2011.platforms), fmtI(count2019.platforms)},
-		{"Machine shapes", fmtI(count2011.shapes), fmtI(count2019.shapes)},
-		{"Priority values", count2011.prioRange, count2019.prioRange},
-		{"Alloc sets", boolStr(count2011.allocSets), boolStr(count2019.allocSets)},
-		{"Job dependencies", boolStr(count2011.dependencies), boolStr(count2019.dependencies)},
-		{"Batch queueing", boolStr(count2011.batchQueue), boolStr(count2019.batchQueue)},
-		{"Vertical scaling", boolStr(count2011.vertical), boolStr(count2019.vertical)},
+	return []Table1Row{
+		{"Duration (days)", fmtF(dur2011.Hours() / 24), fmtF(dur2019.Hours() / 24)},
+		{"Cells", "1", fmtI(cells2019)},
+		{"Machines", fmtI(count2011.Machines), fmtI(count2019.Machines)},
+		{"Machines per cell", fmtI(count2011.Machines), fmtI(count2019.Machines / cells2019)},
+		{"Hardware platforms", fmtI(len(count2011.Platforms)), fmtI(len(count2019.Platforms))},
+		{"Machine shapes", fmtI(len(count2011.Shapes)), fmtI(len(count2019.Shapes))},
+		{"Priority values", count2011.prioRange(), count2019.prioRange()},
+		{"Alloc sets", boolStr(count2011.AllocSets), boolStr(count2019.AllocSets)},
+		{"Job dependencies", boolStr(count2011.Dependencies), boolStr(count2019.Dependencies)},
+		{"Batch queueing", boolStr(count2011.BatchQueue), boolStr(count2019.BatchQueue)},
+		{"Vertical scaling", boolStr(count2011.Vertical), boolStr(count2019.Vertical)},
 	}
-	return rows
 }
 
-type inventory struct {
-	machines     int
-	platforms    int
-	shapes       int
-	prioRange    string
-	allocSets    bool
-	dependencies bool
-	batchQueue   bool
-	vertical     bool
-}
-
-func traceInventory(traces []*trace.MemTrace) inventory {
-	var inv inventory
-	platforms := make(map[string]bool)
-	shapes := make(map[trace.Resources]bool)
-	minPrio, maxPrio := math.MaxInt32, -1
-	for _, tr := range traces {
-		for _, ev := range tr.MachineCapacities() {
-			inv.machines++
-			platforms[ev.Platform] = true
-			shapes[ev.Capacity] = true
-		}
-		for _, info := range tr.CollectionInfos() {
-			if info.Priority < minPrio {
-				minPrio = info.Priority
-			}
-			if info.Priority > maxPrio {
-				maxPrio = info.Priority
-			}
-			if info.CollectionType == trace.CollectionAllocSet {
-				inv.allocSets = true
-			}
-			if info.Parent != 0 {
-				inv.dependencies = true
-			}
-			if info.Scaling != trace.ScalingNone {
-				inv.vertical = true
-			}
-		}
-		for _, ev := range tr.CollectionEvents {
-			if ev.Type == trace.EventQueue {
-				inv.batchQueue = true
-			}
-		}
+// Table1 rebuilds the paper's Table 1 from generated traces.
+func Table1(t2011 *trace.MemTrace, t2019 []*trace.MemTrace) []Table1Row {
+	cells := make([]Inventory, len(t2019))
+	for i, tr := range t2019 {
+		cells[i] = InventoryOf(tr)
 	}
-	inv.platforms = len(platforms)
-	inv.shapes = len(shapes)
-	if maxPrio >= 0 {
-		inv.prioRange = fmtI(minPrio) + "–" + fmtI(maxPrio)
-	}
-	return inv
+	return Table1FromInventories(InventoryOf(t2011), t2011.Meta.Duration,
+		MergeInventories(cells), t2019[0].Meta.Duration, len(t2019))
 }
 
 func fmtI(v int) string { return strconv.Itoa(v) }

@@ -8,6 +8,14 @@
 //
 // Functions accept one or more MemTraces; where the paper aggregates
 // across the 8 cells of the 2019 trace, pass all of them.
+//
+// Each analysis is factored into a per-cell accumulation step and an
+// exact merge/finish step, so the streaming reducers in the analysis/
+// streaming subpackage can compute the per-cell state online (while the
+// simulation runs, with no retained trace) and still produce results
+// bit-identical to the post-hoc path: within a cell both paths fold the
+// same terms in trace-emission order, and across cells both paths merge
+// the per-cell partials with the same functions in the same order.
 package analysis
 
 import (
@@ -28,8 +36,15 @@ type ShapePoint struct {
 // MachineShapes returns the distinct machine shapes and their counts,
 // sorted by population descending (Figure 1's circle areas).
 func MachineShapes(tr *trace.MemTrace) []ShapePoint {
+	return ShapesOf(tr.MachineCapacities())
+}
+
+// ShapesOf derives Figure 1's shape populations from a machine-capacity
+// snapshot (as built by MemTrace.MachineCapacities or maintained online
+// by a streaming reducer).
+func ShapesOf(caps map[trace.MachineID]trace.MachineEvent) []ShapePoint {
 	counts := make(map[trace.Resources]int)
-	for _, ev := range tr.MachineCapacities() {
+	for _, ev := range caps {
 		counts[ev.Capacity]++
 	}
 	out := make([]ShapePoint, 0, len(counts))
@@ -75,13 +90,84 @@ func newTierSeries(n int) TierSeries {
 	return s
 }
 
-// totalCapacity sums the final capacities of a trace's machines.
-func totalCapacity(tr *trace.MemTrace) trace.Resources {
+// TotalCapacity sums a capacity snapshot in ascending machine-ID order.
+// The order is fixed so that both the post-hoc and the streaming path
+// produce the same floating-point sum.
+func TotalCapacity(caps map[trace.MachineID]trace.MachineEvent) trace.Resources {
+	ids := make([]trace.MachineID, 0, len(caps))
+	for id := range caps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum trace.Resources
-	for _, ev := range tr.MachineCapacities() {
-		sum = sum.Add(ev.Capacity)
+	for _, id := range ids {
+		sum = sum.Add(caps[id].Capacity)
 	}
 	return sum
+}
+
+// SeriesHours converts a trace horizon to the hourly bucket count used by
+// the Figure 2/4 series (at least one bucket).
+func SeriesHours(duration sim.Time) int {
+	hours := int(duration / sim.Hour)
+	if hours <= 0 {
+		hours = 1
+	}
+	return hours
+}
+
+// SeriesAccum accumulates the raw per-tier resource-hour sums behind a
+// TierSeries, one usage record at a time in emission order. Normalization
+// by cell capacity happens once in Finish, so the accumulation itself
+// needs no knowledge of the cell — the property that lets a streaming
+// reducer fold records online and still match the post-hoc sums bit for
+// bit.
+type SeriesAccum struct {
+	hours    int
+	cpu, mem map[trace.Tier][]float64
+}
+
+// NewSeriesAccum returns a zeroed accumulator with one bucket per hour.
+func NewSeriesAccum(hours int) *SeriesAccum {
+	a := &SeriesAccum{
+		hours: hours,
+		cpu:   make(map[trace.Tier][]float64),
+		mem:   make(map[trace.Tier][]float64),
+	}
+	for _, t := range trace.Tiers() {
+		a.cpu[t] = make([]float64, hours)
+		a.mem[t] = make([]float64, hours)
+	}
+	return a
+}
+
+// Observe folds one record's contribution (v, normally the record's
+// average usage or its limit) into the hour bucket containing its start.
+func (a *SeriesAccum) Observe(rec trace.UsageRecord, v trace.Resources) {
+	h := int(rec.Start / sim.Hour)
+	if h < 0 || h >= a.hours {
+		return
+	}
+	windowHours := sim.SampleWindow.Hours()
+	a.cpu[rec.Tier][h] += v.CPU * windowHours
+	a.mem[rec.Tier][h] += v.Mem * windowHours
+}
+
+// Finish normalizes the accumulated resource-hours by the cell's hourly
+// capacity and returns the series. A non-positive capacity yields the
+// zero series.
+func (a *SeriesAccum) Finish(capacity trace.Resources) TierSeries {
+	s := newTierSeries(a.hours)
+	if capacity.CPU <= 0 || capacity.Mem <= 0 {
+		return s
+	}
+	for _, t := range trace.Tiers() {
+		for i := 0; i < a.hours; i++ {
+			s.CPU[t][i] = a.cpu[t][i] / capacity.CPU
+			s.Mem[t][i] = a.mem[t][i] / capacity.Mem
+		}
+	}
+	return s
 }
 
 // inAllocJobs returns the set of collections that run inside alloc sets.
@@ -110,38 +196,22 @@ func AllocationSeries(tr *trace.MemTrace) TierSeries {
 }
 
 func series(tr *trace.MemTrace, allocation bool) TierSeries {
-	hours := int(tr.Meta.Duration / sim.Hour)
-	if hours <= 0 {
-		hours = 1
-	}
-	s := newTierSeries(hours)
-	capacity := totalCapacity(tr)
-	if capacity.CPU <= 0 || capacity.Mem <= 0 {
-		return s
-	}
+	a := NewSeriesAccum(SeriesHours(tr.Meta.Duration))
 	var inAlloc map[trace.CollectionID]bool
 	if allocation {
 		inAlloc = inAllocJobs(tr)
 	}
-	windowHours := sim.SampleWindow.Hours()
 	for _, rec := range tr.UsageRecords {
-		h := int(rec.Start / sim.Hour)
-		if h < 0 || h >= hours {
-			continue
-		}
-		v := rec.AvgUsage
 		if allocation {
 			if inAlloc[rec.Key.Collection] {
 				continue
 			}
-			v = rec.Limit
+			a.Observe(rec, rec.Limit)
+		} else {
+			a.Observe(rec, rec.AvgUsage)
 		}
-		// Resource-hours contributed to this hour bucket, as a fraction
-		// of the cell's hourly resource capacity.
-		s.CPU[rec.Tier][h] += v.CPU * windowHours / capacity.CPU
-		s.Mem[rec.Tier][h] += v.Mem * windowHours / capacity.Mem
 	}
-	return s
+	return a.Finish(TotalCapacity(tr.MachineCapacities()))
 }
 
 // AverageSeries averages several cells' series point-wise (the paper's
@@ -194,15 +264,17 @@ type TierAverages struct {
 // AverageUsageByTier computes Figure 3's per-cell bars: the mean over
 // post-warmup hours of the per-tier usage fraction.
 func AverageUsageByTier(tr *trace.MemTrace, warmup sim.Time) TierAverages {
-	return averageByTier(UsageSeries(tr), tr.Meta.Cell, warmup)
+	return AverageOfSeries(UsageSeries(tr), tr.Meta.Cell, warmup)
 }
 
 // AverageAllocationByTier computes Figure 5's per-cell bars.
 func AverageAllocationByTier(tr *trace.MemTrace, warmup sim.Time) TierAverages {
-	return averageByTier(AllocationSeries(tr), tr.Meta.Cell, warmup)
+	return AverageOfSeries(AllocationSeries(tr), tr.Meta.Cell, warmup)
 }
 
-func averageByTier(s TierSeries, cell string, warmup sim.Time) TierAverages {
+// AverageOfSeries reduces an hourly series to its post-warmup mean per
+// tier (the shared final step of Figures 3 and 5).
+func AverageOfSeries(s TierSeries, cell string, warmup sim.Time) TierAverages {
 	out := TierAverages{
 		Cell: cell,
 		CPU:  make(map[trace.Tier]float64),
@@ -232,13 +304,20 @@ func averageByTier(s TierSeries, cell string, warmup sim.Time) TierAverages {
 // window containing at; machines with no usage records in the window count
 // as zero (Figure 6's snapshot distribution).
 func MachineUtilization(tr *trace.MemTrace, at sim.Time) (cpu, mem []float64) {
-	caps := tr.MachineCapacities()
-	usage := make(map[trace.MachineID]trace.Resources, len(caps))
+	usage := make(map[trace.MachineID]trace.Resources)
 	for _, rec := range tr.UsageRecords {
 		if rec.Start <= at && at < rec.End && rec.Machine != 0 {
 			usage[rec.Machine] = usage[rec.Machine].Add(rec.AvgUsage)
 		}
 	}
+	return UtilizationSamples(tr.MachineCapacities(), usage)
+}
+
+// UtilizationSamples turns a capacity snapshot and the per-machine usage
+// totals of one sampling window into Figure 6's per-machine utilization
+// samples, in ascending machine-ID order.
+func UtilizationSamples(caps map[trace.MachineID]trace.MachineEvent,
+	usage map[trace.MachineID]trace.Resources) (cpu, mem []float64) {
 	ids := make([]trace.MachineID, 0, len(caps))
 	for id := range caps {
 		ids = append(ids, id)

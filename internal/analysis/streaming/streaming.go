@@ -1,0 +1,462 @@
+// Package streaming computes every per-figure analysis of the paper
+// online, as the simulation emits trace rows, instead of post-hoc over a
+// fully retained MemTrace. A CellReducer is a trace.Sink: attach one per
+// cell via core.Options.ExtraSinks (typically together with NoMemTrace)
+// and, once the simulation has finished, read the same structs the
+// analysis package produces — bit-identical to the post-hoc path on the
+// same trace, which is what lets full suites run with no trace retention
+// and still emit a byte-identical report.
+//
+// # Memory model
+//
+// A retained trace grows with every row: life-cycle events and 5-minute
+// usage records accumulate for the whole horizon, which is why memory —
+// not CPU — capped suite horizons before this package existed. A
+// CellReducer's state instead grows only with the number of distinct
+// collections and instances (per-job aggregates the figures inherently
+// need) plus fixed-size hourly buckets; per-row work is O(1) and
+// allocation-free in steady state. Usage records, the dominant table by
+// far, are folded and dropped.
+//
+// # Exactness contract
+//
+// Bit-identity with the post-hoc path holds because both sides are built
+// from the same factored pieces in package analysis: within a cell both
+// fold the same terms in trace-emission order (MemTrace replays tables in
+// emission order, and the reducer sees rows in emission order), and
+// normalizations/merges happen in shared Finish/Merge functions. Two
+// trace invariants are relied on and checked by the differential tests: a
+// collection's first event precedes all rows that reference it, and
+// machine capacities are fully announced before the first usage record.
+package streaming
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config identifies the cell a reducer consumes and pins the analysis
+// parameters that must be known before rows stream in.
+type Config struct {
+	// Meta mirrors the retained trace's metadata: cell name, era,
+	// duration (hourly bucket count), machine count and seed.
+	Meta trace.Meta
+	// SnapshotAt is the instant of Figure 6's machine-utilization
+	// snapshot (the suite uses mid-horizon). Records overlapping this
+	// instant are folded into the per-machine snapshot totals.
+	SnapshotAt sim.Time
+}
+
+// collState is one collection's reduced view: the static attributes and
+// outcome the analyses read, plus its per-job aggregates.
+type collState struct {
+	info      trace.CollectionInfo
+	hasInfo   bool
+	lastEvent trace.EventType
+	hasLast   bool
+
+	evictions int
+	tasks     int // distinct instance indices seen
+
+	sawUsage           bool
+	cpuHours, memHours float64 // job usage integrals (Table 2)
+}
+
+// instState is one instance's reduced view.
+type instState struct {
+	lastEvent trace.EventType
+	hasLast   bool
+	submitted bool // first SUBMIT counted toward Figure 9's new tasks
+}
+
+// CellReducer reduces one cell's trace stream into every per-figure
+// analysis. It is not safe for concurrent use; the engine drives each
+// cell's sink pipeline from a single goroutine, which is exactly the
+// contract the reducer needs. Accessors may be called once the
+// simulation has completed; the first access finalizes the reducer and
+// further rows panic.
+type CellReducer struct {
+	cfg Config
+
+	caps       map[trace.MachineID]trace.MachineEvent
+	usageAcc   *analysis.SeriesAccum
+	allocAcc   *analysis.SeriesAccum
+	snapUsage  map[trace.MachineID]trace.Resources
+	trans      analysis.TransitionCounts
+	colls      map[trace.CollectionID]*collState
+	insts      map[trace.InstanceKey]*instState
+	rates      analysis.SubmissionRates
+	allocAccum analysis.AllocSetAccum
+	slack      map[trace.VerticalScaling][]float64
+	batchQueue bool
+
+	enable     map[trace.CollectionID]sim.Time
+	enableTier map[trace.CollectionID]trace.Tier
+	firstSched map[trace.CollectionID]sim.Time
+
+	// Products, computed once by finalize.
+	done        bool
+	shapes      []analysis.ShapePoint
+	usageSeries analysis.TierSeries
+	allocSeries analysis.TierSeries
+	utilCPU     []float64
+	utilMem     []float64
+	transitions []analysis.Transition
+	inventory   analysis.Inventory
+	termAccum   analysis.TerminationAccum
+	delays      analysis.DelaySamples
+	tasksPerJob map[trace.Tier][]float64
+	integrals   analysis.UsageIntegrals
+}
+
+// NewCellReducer returns an empty reducer for one cell.
+func NewCellReducer(cfg Config) *CellReducer {
+	hours := analysis.SeriesHours(cfg.Meta.Duration)
+	return &CellReducer{
+		cfg:       cfg,
+		caps:      make(map[trace.MachineID]trace.MachineEvent),
+		usageAcc:  analysis.NewSeriesAccum(hours),
+		allocAcc:  analysis.NewSeriesAccum(hours),
+		snapUsage: make(map[trace.MachineID]trace.Resources),
+		trans:     make(analysis.TransitionCounts),
+		colls:     make(map[trace.CollectionID]*collState),
+		insts:     make(map[trace.InstanceKey]*instState),
+		rates: analysis.SubmissionRates{
+			JobsPerHour:     make([]float64, hours),
+			NewTasksPerHour: make([]float64, hours),
+			AllTasksPerHour: make([]float64, hours),
+		},
+		slack:      make(map[trace.VerticalScaling][]float64),
+		enable:     make(map[trace.CollectionID]sim.Time),
+		enableTier: make(map[trace.CollectionID]trace.Tier),
+		firstSched: make(map[trace.CollectionID]sim.Time),
+	}
+}
+
+func (r *CellReducer) mutable() {
+	if r.done {
+		panic("streaming: trace row after CellReducer was finalized")
+	}
+}
+
+func (r *CellReducer) coll(id trace.CollectionID) *collState {
+	c := r.colls[id]
+	if c == nil {
+		c = &collState{}
+		r.colls[id] = c
+	}
+	return c
+}
+
+// CollectionEvent reduces one collection_events row.
+func (r *CellReducer) CollectionEvent(ev trace.CollectionEvent) {
+	r.mutable()
+	c := r.coll(ev.Collection)
+	if !c.hasInfo {
+		// The first event carries the static attributes, as
+		// MemTrace.CollectionInfos reconstructs them.
+		c.hasInfo = true
+		c.info = trace.CollectionInfo{
+			ID:             ev.Collection,
+			CollectionType: ev.CollectionType,
+			Priority:       ev.Priority,
+			Tier:           ev.Tier,
+			User:           ev.User,
+			Parent:         ev.Parent,
+			AllocSet:       ev.AllocSet,
+			Scheduler:      ev.Scheduler,
+			Scaling:        ev.Scaling,
+			SubmitTime:     ev.Time,
+			FinalEvent:     trace.EventSubmit,
+		}
+		r.allocAccum.ObserveCollection(ev.CollectionType, ev.AllocSet, ev.Tier)
+	}
+	if ev.Type.IsTermination() {
+		c.info.FinalEvent = ev.Type
+		c.info.FinalTime = ev.Time
+	}
+	if c.hasLast {
+		r.trans.Observe(c.lastEvent, ev.Type)
+	}
+	c.lastEvent, c.hasLast = ev.Type, true
+
+	switch ev.Type {
+	case trace.EventQueue:
+		r.batchQueue = true
+	case trace.EventSubmit:
+		if c.info.CollectionType == trace.CollectionJob {
+			if h := int(ev.Time / sim.Hour); h >= 0 && h < len(r.rates.JobsPerHour) {
+				r.rates.JobsPerHour[h]++
+			}
+		}
+	case trace.EventEnable:
+		if ev.CollectionType == trace.CollectionJob {
+			if _, ok := r.enable[ev.Collection]; !ok {
+				r.enable[ev.Collection] = ev.Time
+				r.enableTier[ev.Collection] = ev.Tier
+			}
+		}
+	}
+}
+
+// InstanceEvent reduces one instance_events row.
+func (r *CellReducer) InstanceEvent(ev trace.InstanceEvent) {
+	r.mutable()
+	in := r.insts[ev.Key]
+	if in == nil {
+		in = &instState{}
+		r.insts[ev.Key] = in
+		r.coll(ev.Key.Collection).tasks++
+	}
+	if in.hasLast {
+		r.trans.Observe(in.lastEvent, ev.Type)
+	}
+	in.lastEvent, in.hasLast = ev.Type, true
+
+	switch ev.Type {
+	case trace.EventSubmit:
+		c := r.colls[ev.Key.Collection]
+		if c != nil && c.hasInfo && c.info.CollectionType == trace.CollectionJob {
+			if h := int(ev.Time / sim.Hour); h >= 0 && h < len(r.rates.AllTasksPerHour) {
+				r.rates.AllTasksPerHour[h]++
+				if !in.submitted {
+					// First *counted* SUBMIT, mirroring the post-hoc
+					// seen-set which only records counted events.
+					in.submitted = true
+					r.rates.NewTasksPerHour[h]++
+				}
+			}
+		}
+	case trace.EventSchedule:
+		if cur, ok := r.firstSched[ev.Key.Collection]; !ok || ev.Time < cur {
+			r.firstSched[ev.Key.Collection] = ev.Time
+		}
+	case trace.EventEvict:
+		r.coll(ev.Key.Collection).evictions++
+	}
+}
+
+// Usage reduces one instance_usage row.
+func (r *CellReducer) Usage(rec trace.UsageRecord) {
+	r.mutable()
+	r.usageAcc.Observe(rec, rec.AvgUsage)
+
+	c := r.colls[rec.Key.Collection]
+	hasInfo := c != nil && c.hasInfo
+	isJob := hasInfo && c.info.CollectionType == trace.CollectionJob
+	isAllocSet := hasInfo && c.info.CollectionType == trace.CollectionAllocSet
+	inAlloc := isJob && c.info.AllocSet != 0
+
+	if !inAlloc {
+		// Jobs inside alloc sets consume their alloc set's reservation,
+		// which the alloc set's own records already count (Figure 4).
+		r.allocAcc.Observe(rec, rec.Limit)
+	}
+	r.allocAccum.ObserveUsage(rec, isAllocSet, inAlloc)
+
+	if isJob {
+		h := (rec.End - rec.Start).Hours()
+		c.sawUsage = true
+		c.cpuHours += rec.AvgUsage.CPU * h
+		c.memHours += rec.AvgUsage.Mem * h
+		if s, ok := analysis.SlackSampleOf(rec); ok {
+			mode := c.info.Scaling
+			r.slack[mode] = append(r.slack[mode], s)
+		}
+	}
+
+	if rec.Start <= r.cfg.SnapshotAt && r.cfg.SnapshotAt < rec.End && rec.Machine != 0 {
+		r.snapUsage[rec.Machine] = r.snapUsage[rec.Machine].Add(rec.AvgUsage)
+	}
+}
+
+// MachineEvent reduces one machine_events row.
+func (r *CellReducer) MachineEvent(ev trace.MachineEvent) {
+	r.mutable()
+	switch ev.Type {
+	case trace.MachineAdd, trace.MachineUpdate:
+		r.caps[ev.Machine] = ev
+	case trace.MachineRemove:
+		delete(r.caps, ev.Machine)
+	}
+}
+
+// sortedCollections returns the reduced collections in ascending ID
+// order, skipping IDs that never saw a collection event (parity with
+// MemTrace.CollectionInfos, which only knows collections with events).
+func (r *CellReducer) sortedCollections() []*collState {
+	out := make([]*collState, 0, len(r.colls))
+	for _, c := range r.colls {
+		if c.hasInfo {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].info.ID < out[j].info.ID })
+	return out
+}
+
+// finalize computes every product exactly once.
+func (r *CellReducer) finalize() {
+	if r.done {
+		return
+	}
+	r.done = true
+
+	capacity := analysis.TotalCapacity(r.caps)
+	r.shapes = analysis.ShapesOf(r.caps)
+	r.usageSeries = r.usageAcc.Finish(capacity)
+	r.allocSeries = r.allocAcc.Finish(capacity)
+	r.utilCPU, r.utilMem = analysis.UtilizationSamples(r.caps, r.snapUsage)
+	r.transitions = analysis.TransitionsFromCounts(r.trans)
+	r.delays = analysis.FinishDelays(r.enable, r.enableTier, r.firstSched)
+
+	colls := r.sortedCollections()
+	r.inventory = analysis.NewInventory()
+	for _, ev := range r.caps {
+		r.inventory.ObserveMachine(ev)
+	}
+	r.inventory.BatchQueue = r.batchQueue
+	r.tasksPerJob = make(map[trace.Tier][]float64)
+	cpu := make(map[trace.CollectionID]float64)
+	mem := make(map[trace.CollectionID]float64)
+	for _, c := range colls {
+		r.inventory.ObserveCollection(c.info)
+		r.termAccum.ObserveCollection(c.info, c.evictions)
+		if c.info.CollectionType != trace.CollectionJob {
+			continue
+		}
+		if c.tasks > 0 {
+			r.tasksPerJob[c.info.Tier] = append(r.tasksPerJob[c.info.Tier], float64(c.tasks))
+		}
+		if c.sawUsage {
+			cpu[c.info.ID] = c.cpuHours
+			mem[c.info.ID] = c.memHours
+		}
+	}
+	r.integrals = analysis.FinishIntegrals(cpu, mem)
+}
+
+// Meta returns the cell's metadata.
+func (r *CellReducer) Meta() trace.Meta { return r.cfg.Meta }
+
+// MachineShapes returns Figure 1's shape populations.
+func (r *CellReducer) MachineShapes() []analysis.ShapePoint {
+	r.finalize()
+	return r.shapes
+}
+
+// UsageSeries returns Figure 2's hourly per-tier usage series.
+func (r *CellReducer) UsageSeries() analysis.TierSeries {
+	r.finalize()
+	return r.usageSeries
+}
+
+// AllocationSeries returns Figure 4's hourly per-tier allocation series.
+func (r *CellReducer) AllocationSeries() analysis.TierSeries {
+	r.finalize()
+	return r.allocSeries
+}
+
+// AverageUsageByTier returns Figure 3's per-cell bars.
+func (r *CellReducer) AverageUsageByTier(warmup sim.Time) analysis.TierAverages {
+	return analysis.AverageOfSeries(r.UsageSeries(), r.cfg.Meta.Cell, warmup)
+}
+
+// AverageAllocationByTier returns Figure 5's per-cell bars.
+func (r *CellReducer) AverageAllocationByTier(warmup sim.Time) analysis.TierAverages {
+	return analysis.AverageOfSeries(r.AllocationSeries(), r.cfg.Meta.Cell, warmup)
+}
+
+// MachineUtilization returns Figure 6's per-machine utilization samples
+// at the configured snapshot instant.
+func (r *CellReducer) MachineUtilization() (cpu, mem []float64) {
+	r.finalize()
+	return r.utilCPU, r.utilMem
+}
+
+// Transitions returns Figure 7's transition counts.
+func (r *CellReducer) Transitions() []analysis.Transition {
+	r.finalize()
+	return r.transitions
+}
+
+// Inventory returns the cell's Table 1 inventory partial.
+func (r *CellReducer) Inventory() analysis.Inventory {
+	r.finalize()
+	return r.inventory
+}
+
+// AllocSetAccum returns the cell's §5.1 partial.
+func (r *CellReducer) AllocSetAccum() analysis.AllocSetAccum {
+	r.finalize()
+	return r.allocAccum
+}
+
+// TerminationAccum returns the cell's §5.2 partial.
+func (r *CellReducer) TerminationAccum() analysis.TerminationAccum {
+	r.finalize()
+	return r.termAccum
+}
+
+// Rates returns the cell's Figure 8/9 hourly submission samples.
+func (r *CellReducer) Rates() analysis.SubmissionRates {
+	r.finalize()
+	return r.rates
+}
+
+// Delays returns the cell's Figure 10 scheduling-delay samples.
+func (r *CellReducer) Delays() analysis.DelaySamples {
+	r.finalize()
+	return r.delays
+}
+
+// TasksPerJob returns the cell's Figure 11 task-count samples by tier.
+func (r *CellReducer) TasksPerJob() map[trace.Tier][]float64 {
+	r.finalize()
+	return r.tasksPerJob
+}
+
+// UsageIntegrals returns the cell's Table 2 per-job resource-hours.
+func (r *CellReducer) UsageIntegrals() analysis.UsageIntegrals {
+	r.finalize()
+	return r.integrals
+}
+
+// SlackSamples returns the cell's Figure 14 slack samples by strategy.
+func (r *CellReducer) SlackSamples() map[trace.VerticalScaling][]float64 {
+	r.finalize()
+	return r.slack
+}
+
+// Counts summarizes the reducer's state sizes, for logs.
+func (r *CellReducer) Counts() string {
+	return fmt.Sprintf("collections=%d instances=%d machines=%d",
+		len(r.colls), len(r.insts), len(r.caps))
+}
+
+// Replay feeds a retained trace through a fresh reducer, table by table
+// in emission order (machines, collections, instances, usage). Feeding
+// collection events before the rows that reference them preserves the
+// same first-event-precedes-references invariant the live stream
+// provides, so a replayed reducer is bit-identical to one that consumed
+// the stream live — the property the differential tests pin.
+func Replay(tr *trace.MemTrace, cfg Config) *CellReducer {
+	r := NewCellReducer(cfg)
+	for _, ev := range tr.MachineEvents {
+		r.MachineEvent(ev)
+	}
+	for _, ev := range tr.CollectionEvents {
+		r.CollectionEvent(ev)
+	}
+	for _, ev := range tr.InstanceEvents {
+		r.InstanceEvent(ev)
+	}
+	for _, rec := range tr.UsageRecords {
+		r.Usage(rec)
+	}
+	return r
+}

@@ -1,0 +1,128 @@
+package streaming
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// fixture runs one cell with both a streaming reducer attached to the
+// live sink pipeline and full MemTrace retention, so every reducer
+// product can be compared against the post-hoc path on the exact same
+// rows.
+type fixture struct {
+	tr  *trace.MemTrace
+	red *CellReducer
+	at  sim.Time
+}
+
+var (
+	fixOnce          sync.Once
+	fix2019, fix2011 *fixture
+)
+
+func runFixture(p *workload.CellProfile, horizon sim.Time, seed uint64) *fixture {
+	at := horizon / 2
+	red := NewCellReducer(Config{
+		Meta: trace.Meta{
+			Era: p.Era, Cell: p.Name, Duration: horizon,
+			Machines: p.Machines, Seed: seed,
+		},
+		SnapshotAt: at,
+	})
+	res := core.Run(p, core.Options{
+		Horizon:    horizon,
+		Seed:       seed,
+		ExtraSinks: []trace.Sink{red},
+	})
+	return &fixture{tr: res.Trace, red: red, at: at}
+}
+
+func fixtures(t *testing.T) (*fixture, *fixture) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fix2019 = runFixture(workload.Profile2019("a", 120), 10*sim.Hour, 42)
+		fix2011 = runFixture(workload.Profile2011(120), 10*sim.Hour, 43)
+	})
+	return fix2019, fix2011
+}
+
+// diff asserts got == want via reflect.DeepEqual with a labelled failure.
+func diff(t *testing.T, label string, got, want any) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: streaming reducer diverges from post-hoc analysis\n got: %+v\nwant: %+v", label, got, want)
+	}
+}
+
+func TestReducerMatchesPostHoc(t *testing.T) {
+	f19, f11 := fixtures(t)
+	for _, f := range []*fixture{f19, f11} {
+		cell := f.tr.Meta.Cell
+		diff(t, cell+" shapes", f.red.MachineShapes(), analysis.MachineShapes(f.tr))
+		diff(t, cell+" usage series", f.red.UsageSeries(), analysis.UsageSeries(f.tr))
+		diff(t, cell+" allocation series", f.red.AllocationSeries(), analysis.AllocationSeries(f.tr))
+		diff(t, cell+" tier averages", f.red.AverageUsageByTier(2*sim.Hour),
+			analysis.AverageUsageByTier(f.tr, 2*sim.Hour))
+		cpu, mem := f.red.MachineUtilization()
+		wantCPU, wantMem := analysis.MachineUtilization(f.tr, f.at)
+		diff(t, cell+" utilization cpu", cpu, wantCPU)
+		diff(t, cell+" utilization mem", mem, wantMem)
+		diff(t, cell+" transitions", f.red.Transitions(), analysis.Transitions(f.tr))
+		diff(t, cell+" inventory", f.red.Inventory(), analysis.InventoryOf(f.tr))
+		diff(t, cell+" allocset accum", f.red.AllocSetAccum(), analysis.AllocSetAccumOf(f.tr))
+		diff(t, cell+" termination accum", f.red.TerminationAccum(), analysis.TerminationAccumOf(f.tr))
+		diff(t, cell+" rates", f.red.Rates(), analysis.RatesOf(f.tr))
+		diff(t, cell+" delays", f.red.Delays(), analysis.DelaysOf(f.tr))
+		diff(t, cell+" tasks per job", f.red.TasksPerJob(), analysis.TasksPerJobOf(f.tr))
+		diff(t, cell+" integrals", f.red.UsageIntegrals(), analysis.JobUsageIntegralsOf(f.tr))
+		diff(t, cell+" slack", f.red.SlackSamples(), analysis.SlackSamplesOf(f.tr))
+	}
+}
+
+// TestReplayMatchesLive pins the ordering contract: replaying a retained
+// trace table-by-table through a fresh reducer yields the same state as
+// consuming the live interleaved stream.
+func TestReplayMatchesLive(t *testing.T) {
+	f19, _ := fixtures(t)
+	replayed := Replay(f19.tr, Config{Meta: f19.tr.Meta, SnapshotAt: f19.at})
+	diff(t, "usage series", replayed.UsageSeries(), f19.red.UsageSeries())
+	diff(t, "transitions", replayed.Transitions(), f19.red.Transitions())
+	diff(t, "rates", replayed.Rates(), f19.red.Rates())
+	diff(t, "integrals", replayed.UsageIntegrals(), f19.red.UsageIntegrals())
+	diff(t, "allocset accum", replayed.AllocSetAccum(), f19.red.AllocSetAccum())
+	cpu, mem := replayed.MachineUtilization()
+	liveCPU, liveMem := f19.red.MachineUtilization()
+	diff(t, "utilization cpu", cpu, liveCPU)
+	diff(t, "utilization mem", mem, liveMem)
+}
+
+func TestRowAfterFinalizePanics(t *testing.T) {
+	r := NewCellReducer(Config{Meta: trace.Meta{Duration: sim.Hour}})
+	r.CollectionEvent(trace.CollectionEvent{Collection: 1, Type: trace.EventSubmit})
+	_ = r.Transitions() // finalizes
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on row after finalize")
+		}
+	}()
+	r.CollectionEvent(trace.CollectionEvent{Collection: 1, Type: trace.EventFinish})
+}
+
+func TestReducerStateIsBounded(t *testing.T) {
+	f19, _ := fixtures(t)
+	// The reducer must have dropped the usage table: its state tracks
+	// collections and instances, not rows.
+	if len(f19.red.colls) == 0 || len(f19.red.insts) == 0 {
+		t.Fatalf("reducer state empty: %s", f19.red.Counts())
+	}
+	if rows := len(f19.tr.UsageRecords); rows <= len(f19.red.colls) {
+		t.Skipf("fixture too small to demonstrate reduction (usage rows %d)", rows)
+	}
+}

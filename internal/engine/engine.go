@@ -77,6 +77,19 @@ func NewSpec(i int, p *workload.CellProfile, base core.Options, root uint64) Spe
 	return Spec{Profile: p, Options: base}
 }
 
+// AttachSinks appends the sink built by make(i) to each spec's
+// ExtraSinks, in place. It is the engine's idiom for per-cell sink
+// pipelines — one streaming reducer or export shard per cell, each driven
+// only by that cell's goroutine, so none of them needs a SyncSink. A nil
+// sink from make leaves that spec unchanged.
+func AttachSinks(specs []Spec, make func(i int) trace.Sink) {
+	for i := range specs {
+		if s := make(i); s != nil {
+			specs[i].Options.ExtraSinks = append(specs[i].Options.ExtraSinks, s)
+		}
+	}
+}
+
 // Run simulates every spec and returns results indexed like specs. With
 // Parallelism > 1 the cells run concurrently; results (and OnResult
 // callbacks) are still delivered in spec order.

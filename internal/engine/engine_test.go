@@ -122,3 +122,34 @@ func TestEmptyRun(t *testing.T) {
 		t.Fatalf("got %v", res)
 	}
 }
+
+// TestAttachSinksPerCell pins the per-cell sink idiom: AttachSinks gives
+// every spec its own sink (no SyncSink needed), nil sinks are skipped,
+// and counts per cell match the engine's row accounting at full
+// parallelism — the configuration the race detector exercises in CI.
+func TestAttachSinksPerCell(t *testing.T) {
+	specs := testSpecs(9)
+	counters := make([]*trace.CountingSink, len(specs))
+	AttachSinks(specs, func(i int) trace.Sink {
+		if i == 1 {
+			return nil // spec 1 keeps its pipeline unchanged
+		}
+		counters[i] = &trace.CountingSink{}
+		return counters[i]
+	})
+	for i := range specs {
+		specs[i].Options.NoMemTrace = true
+	}
+	results := Run(specs, Options{Parallelism: len(specs)})
+	for i, res := range results {
+		if i == 1 {
+			if counters[i] != nil {
+				t.Fatal("nil sink was attached")
+			}
+			continue
+		}
+		if counters[i].Counts() != res.Rows {
+			t.Fatalf("cell %d: sink saw %+v, engine counted %+v", i, counters[i].Counts(), res.Rows)
+		}
+	}
+}

@@ -3,6 +3,15 @@
 // Table 2, plus the §5.1 and §5.2 statistics. It is the engine behind
 // cmd/borgexperiments and the repository's benchmark suite, and the source
 // of EXPERIMENTS.md.
+//
+// The report renders from an abstract per-cell analysis surface with two
+// implementations: RunSuite retains each cell's MemTrace and analyzes it
+// post-hoc, while RunSuiteStreaming attaches one streaming.CellReducer
+// per cell and simulates with core.Options.NoMemTrace, folding every row
+// online so memory stays bounded by the number of jobs rather than the
+// number of trace rows. Both paths produce byte-identical reports for the
+// same scale and seed (the differential test in this package is CI's
+// acceptance gate for that).
 package experiments
 
 import (
@@ -54,12 +63,15 @@ func LargeScale() Scale {
 		Horizon: 48 * sim.Hour, Warmup: 16 * sim.Hour, Seed: 1}
 }
 
-// Suite holds the simulated traces for one scale.
+// Suite holds the simulated traces for one scale (the retained-trace
+// path).
 type Suite struct {
 	Scale Scale
 	T2011 *trace.MemTrace
 	T2019 []*trace.MemTrace // cells a–h in order
 	Stats []core.CellResult
+
+	an *suiteAnalyses // lazily built post-hoc analysis surface
 }
 
 // SuiteSpecs builds the suite's nine cell specs — the 2011 cell at index
@@ -76,7 +88,7 @@ func SuiteSpecs(sc Scale) []engine.Spec {
 }
 
 // RunSuite simulates the 2011 cell and the eight 2019 cells, sc.Parallelism
-// cells at a time.
+// cells at a time, retaining every cell's full trace in memory.
 func RunSuite(sc Scale) *Suite {
 	s := &Suite{Scale: sc}
 	results := engine.Run(SuiteSpecs(sc), engine.Options{Parallelism: sc.Parallelism})
@@ -100,25 +112,122 @@ func (s *Suite) RateNormalization2011() float64 {
 	return float64(workload.ReferenceMachines) / float64(s.Scale.Machines2011)
 }
 
+// --- the per-cell analysis surface ---
+
+// cellAnalyses is everything the report needs from one simulated cell.
+// streaming.CellReducer satisfies it directly (online); traceCell adapts
+// a retained MemTrace (post-hoc).
+type cellAnalyses interface {
+	Meta() trace.Meta
+	MachineShapes() []analysis.ShapePoint
+	UsageSeries() analysis.TierSeries
+	AllocationSeries() analysis.TierSeries
+	AverageUsageByTier(warmup sim.Time) analysis.TierAverages
+	AverageAllocationByTier(warmup sim.Time) analysis.TierAverages
+	MachineUtilization() (cpu, mem []float64)
+	Transitions() []analysis.Transition
+	Inventory() analysis.Inventory
+	AllocSetAccum() analysis.AllocSetAccum
+	TerminationAccum() analysis.TerminationAccum
+	Rates() analysis.SubmissionRates
+	Delays() analysis.DelaySamples
+	TasksPerJob() map[trace.Tier][]float64
+	UsageIntegrals() analysis.UsageIntegrals
+	SlackSamples() map[trace.VerticalScaling][]float64
+}
+
+// traceCell is the post-hoc adapter: every method delegates to the
+// analysis package over the retained trace. at is the Figure 6 snapshot
+// instant.
+type traceCell struct {
+	tr *trace.MemTrace
+	at sim.Time
+}
+
+func (c traceCell) Meta() trace.Meta                      { return c.tr.Meta }
+func (c traceCell) MachineShapes() []analysis.ShapePoint  { return analysis.MachineShapes(c.tr) }
+func (c traceCell) UsageSeries() analysis.TierSeries      { return analysis.UsageSeries(c.tr) }
+func (c traceCell) AllocationSeries() analysis.TierSeries { return analysis.AllocationSeries(c.tr) }
+func (c traceCell) Transitions() []analysis.Transition    { return analysis.Transitions(c.tr) }
+func (c traceCell) Inventory() analysis.Inventory         { return analysis.InventoryOf(c.tr) }
+func (c traceCell) AllocSetAccum() analysis.AllocSetAccum { return analysis.AllocSetAccumOf(c.tr) }
+func (c traceCell) Rates() analysis.SubmissionRates       { return analysis.RatesOf(c.tr) }
+func (c traceCell) Delays() analysis.DelaySamples         { return analysis.DelaysOf(c.tr) }
+func (c traceCell) TasksPerJob() map[trace.Tier][]float64 { return analysis.TasksPerJobOf(c.tr) }
+func (c traceCell) UsageIntegrals() analysis.UsageIntegrals {
+	return analysis.JobUsageIntegralsOf(c.tr)
+}
+func (c traceCell) TerminationAccum() analysis.TerminationAccum {
+	return analysis.TerminationAccumOf(c.tr)
+}
+func (c traceCell) AverageUsageByTier(warmup sim.Time) analysis.TierAverages {
+	return analysis.AverageUsageByTier(c.tr, warmup)
+}
+func (c traceCell) AverageAllocationByTier(warmup sim.Time) analysis.TierAverages {
+	return analysis.AverageAllocationByTier(c.tr, warmup)
+}
+func (c traceCell) MachineUtilization() (cpu, mem []float64) {
+	return analysis.MachineUtilization(c.tr, c.at)
+}
+func (c traceCell) SlackSamples() map[trace.VerticalScaling][]float64 {
+	return analysis.SlackSamplesOf(c.tr)
+}
+
+// suiteAnalyses assembles the nine cells' analysis surfaces for report
+// rendering: the 2011 cell plus the 2019 cells a–h in order.
+type suiteAnalyses struct {
+	sc    Scale
+	c2011 cellAnalyses
+	c2019 []cellAnalyses
+}
+
+func (s *Suite) analyses() *suiteAnalyses {
+	if s.an == nil {
+		at := s.Scale.Horizon / 2
+		a := &suiteAnalyses{sc: s.Scale, c2011: traceCell{s.T2011, at}}
+		for _, tr := range s.T2019 {
+			a.c2019 = append(a.c2019, traceCell{tr, at})
+		}
+		s.an = a
+	}
+	return s.an
+}
+
+func (a *suiteAnalyses) rates2019() analysis.SubmissionRates {
+	cells := make([]analysis.SubmissionRates, len(a.c2019))
+	for i, c := range a.c2019 {
+		cells[i] = c.Rates()
+	}
+	return analysis.MergeRates(cells)
+}
+
+func (a *suiteAnalyses) integrals2019() analysis.UsageIntegrals {
+	cells := make([]analysis.UsageIntegrals, len(a.c2019))
+	for i, c := range a.c2019 {
+		cells[i] = c.UsageIntegrals()
+	}
+	return analysis.MergeIntegrals(cells)
+}
+
 // WriteReport emits every artifact to w.
-func (s *Suite) WriteReport(w io.Writer) error {
+func (a *suiteAnalyses) WriteReport(w io.Writer) error {
 	steps := []func(io.Writer) error{
-		s.WriteTable1,
-		s.WriteFigure1,
-		s.WriteFigures2and4,
-		s.WriteFigures3and5,
-		s.WriteFigure6,
-		s.WriteFigure7,
-		s.WriteAllocSetStats,
-		s.WriteTerminationStats,
-		s.WriteFigure8,
-		s.WriteFigure9,
-		s.WriteFigure10,
-		s.WriteFigure11,
-		s.WriteTable2,
-		s.WriteFigure12,
-		s.WriteFigure13,
-		s.WriteFigure14,
+		a.WriteTable1,
+		a.WriteFigure1,
+		a.WriteFigures2and4,
+		a.WriteFigures3and5,
+		a.WriteFigure6,
+		a.WriteFigure7,
+		a.WriteAllocSetStats,
+		a.WriteTerminationStats,
+		a.WriteFigure8,
+		a.WriteFigure9,
+		a.WriteFigure10,
+		a.WriteFigure11,
+		a.WriteTable2,
+		a.WriteFigure12,
+		a.WriteFigure13,
+		a.WriteFigure14,
 	}
 	for _, step := range steps {
 		if err := step(w); err != nil {
@@ -132,17 +241,24 @@ func (s *Suite) WriteReport(w io.Writer) error {
 }
 
 // WriteTable1 emits the trace-comparison inventory.
-func (s *Suite) WriteTable1(w io.Writer) error {
-	fmt.Fprintf(w, "== Table 1: trace comparison (scale %q) ==\n", s.Scale.Name)
-	return report.Table1(w, analysis.Table1(s.T2011, s.T2019))
+func (a *suiteAnalyses) WriteTable1(w io.Writer) error {
+	fmt.Fprintf(w, "== Table 1: trace comparison (scale %q) ==\n", a.sc.Name)
+	cells := make([]analysis.Inventory, len(a.c2019))
+	for i, c := range a.c2019 {
+		cells[i] = c.Inventory()
+	}
+	rows := analysis.Table1FromInventories(
+		a.c2011.Inventory(), a.c2011.Meta().Duration,
+		analysis.MergeInventories(cells), a.c2019[0].Meta().Duration, len(a.c2019))
+	return report.Table1(w, rows)
 }
 
 // WriteFigure1 emits machine shape populations.
-func (s *Suite) WriteFigure1(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure1(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 1: machine shapes (2019, all cells) ==")
 	counts := make(map[trace.Resources]int)
-	for _, tr := range s.T2019 {
-		for _, p := range analysis.MachineShapes(tr) {
+	for _, c := range a.c2019 {
+		for _, p := range c.MachineShapes() {
 			counts[trace.Resources{CPU: p.CPU, Mem: p.Mem}] += p.Count
 		}
 	}
@@ -155,16 +271,16 @@ func (s *Suite) WriteFigure1(w io.Writer) error {
 }
 
 // WriteFigures2and4 emits the hourly usage and allocation series.
-func (s *Suite) WriteFigures2and4(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigures2and4(w io.Writer) error {
 	var use19, alloc19 []analysis.TierSeries
-	for _, tr := range s.T2019 {
-		use19 = append(use19, analysis.UsageSeries(tr))
-		alloc19 = append(alloc19, analysis.AllocationSeries(tr))
+	for _, c := range a.c2019 {
+		use19 = append(use19, c.UsageSeries())
+		alloc19 = append(alloc19, c.AllocationSeries())
 	}
 	avgUse := analysis.AverageSeries(use19)
 	avgAlloc := analysis.AverageSeries(alloc19)
-	u11 := analysis.UsageSeries(s.T2011)
-	a11 := analysis.AllocationSeries(s.T2011)
+	u11 := a.c2011.UsageSeries()
+	a11 := a.c2011.AllocationSeries()
 
 	if err := report.TierSeriesTable(w, "== Figure 2a: 2011 CPU usage (fraction of capacity/hour) ==", u11, "cpu"); err != nil {
 		return err
@@ -191,13 +307,13 @@ func (s *Suite) WriteFigures2and4(w io.Writer) error {
 }
 
 // WriteFigures3and5 emits the per-cell tier averages.
-func (s *Suite) WriteFigures3and5(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigures3and5(w io.Writer) error {
 	var use, alloc []analysis.TierAverages
-	use = append(use, analysis.AverageUsageByTier(s.T2011, s.Scale.Warmup))
-	alloc = append(alloc, analysis.AverageAllocationByTier(s.T2011, s.Scale.Warmup))
-	for _, tr := range s.T2019 {
-		use = append(use, analysis.AverageUsageByTier(tr, s.Scale.Warmup))
-		alloc = append(alloc, analysis.AverageAllocationByTier(tr, s.Scale.Warmup))
+	use = append(use, a.c2011.AverageUsageByTier(a.sc.Warmup))
+	alloc = append(alloc, a.c2011.AverageAllocationByTier(a.sc.Warmup))
+	for _, c := range a.c2019 {
+		use = append(use, c.AverageUsageByTier(a.sc.Warmup))
+		alloc = append(alloc, c.AverageAllocationByTier(a.sc.Warmup))
 	}
 	if err := report.TierAveragesTable(w, "== Figure 3 (CPU): average usage by tier and cell ==", use, "cpu"); err != nil {
 		return err
@@ -213,17 +329,16 @@ func (s *Suite) WriteFigures3and5(w io.Writer) error {
 
 // WriteFigure6 emits machine-utilization CCDF quantiles per cell at the
 // mid-trace snapshot.
-func (s *Suite) WriteFigure6(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure6(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 6: machine utilization at mid-trace (upper quantiles) ==")
-	at := s.Scale.Horizon / 2
 	probs := []float64{0.9, 0.5, 0.1}
 	headers := []string{"cell/resource", "P>0.9", "median", "P>0.1"}
 	var rows [][]string
-	cpu11, mem11 := analysis.MachineUtilization(s.T2011, at)
+	cpu11, mem11 := a.c2011.MachineUtilization()
 	rows = append(rows, report.CCDFQuantiles("2011 cpu", cpu11, probs))
 	rows = append(rows, report.CCDFQuantiles("2011 mem", mem11, probs))
-	for i, tr := range s.T2019 {
-		cpu, mem := analysis.MachineUtilization(tr, at)
+	for i, c := range a.c2019 {
+		cpu, mem := c.MachineUtilization()
 		cell := workload.Cells2019()[i]
 		rows = append(rows, report.CCDFQuantiles(cell+" cpu", cpu, probs))
 		rows = append(rows, report.CCDFQuantiles(cell+" mem", mem, probs))
@@ -232,15 +347,19 @@ func (s *Suite) WriteFigure6(w io.Writer) error {
 }
 
 // WriteFigure7 emits cell g's transition counts, as the paper does.
-func (s *Suite) WriteFigure7(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure7(w io.Writer) error {
 	gIdx := 6 // cell g
 	return report.Transitions(w, "== Figure 7: state transitions (cell g) ==",
-		analysis.Transitions(s.T2019[gIdx]), 20)
+		a.c2019[gIdx].Transitions(), 20)
 }
 
 // WriteAllocSetStats emits §5.1's numbers.
-func (s *Suite) WriteAllocSetStats(w io.Writer) error {
-	st := analysis.AllocSets(s.T2019)
+func (a *suiteAnalyses) WriteAllocSetStats(w io.Writer) error {
+	accums := make([]analysis.AllocSetAccum, len(a.c2019))
+	for i, c := range a.c2019 {
+		accums[i] = c.AllocSetAccum()
+	}
+	st := analysis.FinishAllocSets(accums)
 	fmt.Fprintln(w, "== §5.1: alloc sets (2019, all cells) ==")
 	rows := [][]string{
 		{"alloc sets / collections", report.Pct(st.AllocSetShare), "2%"},
@@ -255,8 +374,12 @@ func (s *Suite) WriteAllocSetStats(w io.Writer) error {
 }
 
 // WriteTerminationStats emits §5.2's numbers.
-func (s *Suite) WriteTerminationStats(w io.Writer) error {
-	st := analysis.Terminations(s.T2019)
+func (a *suiteAnalyses) WriteTerminationStats(w io.Writer) error {
+	accums := make([]analysis.TerminationAccum, len(a.c2019))
+	for i, c := range a.c2019 {
+		accums[i] = c.TerminationAccum()
+	}
+	st := analysis.FinishTerminations(accums)
 	fmt.Fprintln(w, "== §5.2: terminations (2019, all cells) ==")
 	rows := [][]string{
 		{"collections with any eviction", report.Pct(st.CollectionsWithEviction), "3.2%"},
@@ -270,12 +393,12 @@ func (s *Suite) WriteTerminationStats(w io.Writer) error {
 }
 
 // WriteFigure8 emits job-submission-rate distributions.
-func (s *Suite) WriteFigure8(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure8(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 8: job submission rate (jobs/hour, normalized to 12k machines) ==")
-	r19 := analysis.Rates(s.T2019)
-	r11 := analysis.Rates([]*trace.MemTrace{s.T2011})
-	n19 := scaleAll(r19.JobsPerHour, s.RateNormalization2019())
-	n11 := scaleAll(r11.JobsPerHour, s.RateNormalization2011())
+	r19 := a.rates2019()
+	r11 := a.c2011.Rates()
+	n19 := scaleAll(r19.JobsPerHour, a.norm2019())
+	n11 := scaleAll(r11.JobsPerHour, a.norm2011())
 	rows := [][]string{
 		statRow("2011", n11),
 		statRow("2019 per-cell", n19),
@@ -288,15 +411,15 @@ func (s *Suite) WriteFigure8(w io.Writer) error {
 
 // WriteFigure9 emits task-submission-rate distributions and the
 // resubmission ratio.
-func (s *Suite) WriteFigure9(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure9(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 9: task submission rate (tasks/hour, normalized) ==")
-	r19 := analysis.Rates(s.T2019)
-	r11 := analysis.Rates([]*trace.MemTrace{s.T2011})
+	r19 := a.rates2019()
+	r11 := a.c2011.Rates()
 	rows := [][]string{
-		statRow("2011 new tasks", scaleAll(r11.NewTasksPerHour, s.RateNormalization2011())),
-		statRow("2011 all tasks", scaleAll(r11.AllTasksPerHour, s.RateNormalization2011())),
-		statRow("2019 new tasks", scaleAll(r19.NewTasksPerHour, s.RateNormalization2019())),
-		statRow("2019 all tasks", scaleAll(r19.AllTasksPerHour, s.RateNormalization2019())),
+		statRow("2011 new tasks", scaleAll(r11.NewTasksPerHour, a.norm2011())),
+		statRow("2011 all tasks", scaleAll(r11.AllTasksPerHour, a.norm2011())),
+		statRow("2019 new tasks", scaleAll(r19.NewTasksPerHour, a.norm2019())),
+		statRow("2019 all tasks", scaleAll(r19.AllTasksPerHour, a.norm2019())),
 	}
 	resub19 := stats.Quantile(r19.AllTasksPerHour, 0.5)/stats.Quantile(r19.NewTasksPerHour, 0.5) - 1
 	resub11 := stats.Quantile(r11.AllTasksPerHour, 0.5)/stats.Quantile(r11.NewTasksPerHour, 0.5) - 1
@@ -306,21 +429,25 @@ func (s *Suite) WriteFigure9(w io.Writer) error {
 }
 
 // WriteFigure10 emits scheduling-delay distributions by era and tier.
-func (s *Suite) WriteFigure10(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure10(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 10: job scheduling delay (seconds, ready -> first task running) ==")
-	all19, byTier19 := analysis.SchedulingDelays(s.T2019)
-	all11, byTier11 := analysis.SchedulingDelays([]*trace.MemTrace{s.T2011})
+	cells := make([]analysis.DelaySamples, len(a.c2019))
+	for i, c := range a.c2019 {
+		cells[i] = c.Delays()
+	}
+	d19 := analysis.MergeDelays(cells)
+	d11 := a.c2011.Delays()
 	rows := [][]string{
-		delayRow("2011 all", all11),
-		delayRow("2019 all", all19),
+		delayRow("2011 all", d11.All),
+		delayRow("2019 all", d19.All),
 	}
 	for _, tier := range trace.Tiers() {
-		if xs := byTier11[tier]; len(xs) > 0 {
+		if xs := d11.ByTier[tier]; len(xs) > 0 {
 			rows = append(rows, delayRow("2011 "+tier.String(), xs))
 		}
 	}
 	for _, tier := range trace.Tiers() {
-		if xs := byTier19[tier]; len(xs) > 0 {
+		if xs := d19.ByTier[tier]; len(xs) > 0 {
 			rows = append(rows, delayRow("2019 "+tier.String(), xs))
 		}
 	}
@@ -328,9 +455,13 @@ func (s *Suite) WriteFigure10(w io.Writer) error {
 }
 
 // WriteFigure11 emits tasks-per-job quantiles by tier.
-func (s *Suite) WriteFigure11(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure11(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 11: tasks per job by tier (2019) ==")
-	tpj := analysis.TasksPerJob(s.T2019)
+	cells := make([]map[trace.Tier][]float64, len(a.c2019))
+	for i, c := range a.c2019 {
+		cells[i] = c.TasksPerJob()
+	}
+	tpj := analysis.MergeSamplesBy(cells)
 	rows := make([][]string, 0, len(tpj))
 	for _, tier := range trace.Tiers() {
 		xs := tpj[tier]
@@ -350,9 +481,9 @@ func (s *Suite) WriteFigure11(w io.Writer) error {
 }
 
 // WriteTable2 emits the resource-hour distribution statistics.
-func (s *Suite) WriteTable2(w io.Writer) error {
-	i19 := analysis.JobUsageIntegrals(s.T2019)
-	i11 := analysis.JobUsageIntegrals([]*trace.MemTrace{s.T2011})
+func (a *suiteAnalyses) WriteTable2(w io.Writer) error {
+	i19 := a.integrals2019()
+	i11 := a.c2011.UsageIntegrals()
 	if err := report.Table2(w, "== Table 2 (2011): per-job resource-hours ==",
 		analysis.ComputeTable2Column(i11.CPUHours), analysis.ComputeTable2Column(i11.MemHours)); err != nil {
 		return err
@@ -362,9 +493,9 @@ func (s *Suite) WriteTable2(w io.Writer) error {
 }
 
 // WriteFigure12 emits the log-log CCDF of per-job resource-hours.
-func (s *Suite) WriteFigure12(w io.Writer) error {
-	i19 := analysis.JobUsageIntegrals(s.T2019)
-	i11 := analysis.JobUsageIntegrals([]*trace.MemTrace{s.T2011})
+func (a *suiteAnalyses) WriteFigure12(w io.Writer) error {
+	i19 := a.integrals2019()
+	i11 := a.c2011.UsageIntegrals()
 	grid := analysis.LogGrid(1e-5, 1e3, 1)
 	return report.CCDFSeries(w, "== Figure 12: CCDF of resource-usage-hours per job ==", grid,
 		map[string][]float64{
@@ -376,9 +507,9 @@ func (s *Suite) WriteFigure12(w io.Writer) error {
 }
 
 // WriteFigure13 emits the CPU/memory consumption correlation.
-func (s *Suite) WriteFigure13(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure13(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 13: median NMU-hours per 1-NCU-hour bucket (2019) ==")
-	ints := analysis.JobUsageIntegrals(s.T2019)
+	ints := a.integrals2019()
 	points, pearson := analysis.CPUMemCorrelation(ints, 100)
 	rows := make([][]string, 0, len(points)+1)
 	for _, p := range points {
@@ -389,9 +520,13 @@ func (s *Suite) WriteFigure13(w io.Writer) error {
 }
 
 // WriteFigure14 emits the peak-slack CCDF by vertical-scaling strategy.
-func (s *Suite) WriteFigure14(w io.Writer) error {
+func (a *suiteAnalyses) WriteFigure14(w io.Writer) error {
 	fmt.Fprintln(w, "== Figure 14: peak NCU slack by autoscaling strategy (2019) ==")
-	slack := analysis.SlackSamples(s.T2019)
+	cells := make([]map[trace.VerticalScaling][]float64, len(a.c2019))
+	for i, c := range a.c2019 {
+		cells[i] = c.SlackSamples()
+	}
+	slack := analysis.MergeSamplesBy(cells)
 	rows := make([][]string, 0, 3)
 	for _, mode := range []trace.VerticalScaling{trace.ScalingFull, trace.ScalingConstrained, trace.ScalingNone} {
 		xs := slack[mode]
@@ -409,6 +544,69 @@ func (s *Suite) WriteFigure14(w io.Writer) error {
 	rows = append(rows, []string{"paper", "full autoscaling cuts slack by >25pp for most jobs", "", "", ""})
 	return report.Table(w, []string{"strategy", "slack p25 (%)", "median (%)", "p75 (%)", "samples"}, rows)
 }
+
+func (a *suiteAnalyses) norm2019() float64 {
+	return float64(workload.ReferenceMachines) / float64(a.sc.Machines2019)
+}
+
+func (a *suiteAnalyses) norm2011() float64 {
+	return float64(workload.ReferenceMachines) / float64(a.sc.Machines2011)
+}
+
+// --- Suite render wrappers (the retained-trace path) ---
+
+// WriteReport emits every artifact to w.
+func (s *Suite) WriteReport(w io.Writer) error { return s.analyses().WriteReport(w) }
+
+// WriteTable1 emits the trace-comparison inventory.
+func (s *Suite) WriteTable1(w io.Writer) error { return s.analyses().WriteTable1(w) }
+
+// WriteFigure1 emits machine shape populations.
+func (s *Suite) WriteFigure1(w io.Writer) error { return s.analyses().WriteFigure1(w) }
+
+// WriteFigures2and4 emits the hourly usage and allocation series.
+func (s *Suite) WriteFigures2and4(w io.Writer) error { return s.analyses().WriteFigures2and4(w) }
+
+// WriteFigures3and5 emits the per-cell tier averages.
+func (s *Suite) WriteFigures3and5(w io.Writer) error { return s.analyses().WriteFigures3and5(w) }
+
+// WriteFigure6 emits machine-utilization quantiles at mid-trace.
+func (s *Suite) WriteFigure6(w io.Writer) error { return s.analyses().WriteFigure6(w) }
+
+// WriteFigure7 emits cell g's transition counts.
+func (s *Suite) WriteFigure7(w io.Writer) error { return s.analyses().WriteFigure7(w) }
+
+// WriteAllocSetStats emits §5.1's numbers.
+func (s *Suite) WriteAllocSetStats(w io.Writer) error { return s.analyses().WriteAllocSetStats(w) }
+
+// WriteTerminationStats emits §5.2's numbers.
+func (s *Suite) WriteTerminationStats(w io.Writer) error {
+	return s.analyses().WriteTerminationStats(w)
+}
+
+// WriteFigure8 emits job-submission-rate distributions.
+func (s *Suite) WriteFigure8(w io.Writer) error { return s.analyses().WriteFigure8(w) }
+
+// WriteFigure9 emits task-submission-rate distributions.
+func (s *Suite) WriteFigure9(w io.Writer) error { return s.analyses().WriteFigure9(w) }
+
+// WriteFigure10 emits scheduling-delay distributions.
+func (s *Suite) WriteFigure10(w io.Writer) error { return s.analyses().WriteFigure10(w) }
+
+// WriteFigure11 emits tasks-per-job quantiles by tier.
+func (s *Suite) WriteFigure11(w io.Writer) error { return s.analyses().WriteFigure11(w) }
+
+// WriteTable2 emits the resource-hour distribution statistics.
+func (s *Suite) WriteTable2(w io.Writer) error { return s.analyses().WriteTable2(w) }
+
+// WriteFigure12 emits the log-log CCDF of per-job resource-hours.
+func (s *Suite) WriteFigure12(w io.Writer) error { return s.analyses().WriteFigure12(w) }
+
+// WriteFigure13 emits the CPU/memory consumption correlation.
+func (s *Suite) WriteFigure13(w io.Writer) error { return s.analyses().WriteFigure13(w) }
+
+// WriteFigure14 emits the peak-slack summary by scaling strategy.
+func (s *Suite) WriteFigure14(w io.Writer) error { return s.analyses().WriteFigure14(w) }
 
 // --- helpers ---
 

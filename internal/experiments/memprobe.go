@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PeakHeapDuring samples runtime.MemStats.HeapAlloc while fn runs and
+// returns the maximum observed, in bytes. It backs the CI memory-ceiling
+// gate and the suite benchmarks' peak-heap-MB metric — one sampler, so
+// the budget and the benchmark always measure the same thing. Sampling
+// at 20ms misses only very short spikes, which is fine for suite-length
+// work.
+func PeakHeapDuring(fn func()) uint64 {
+	runtime.GC()
+	var mu sync.Mutex
+	var peak uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		ticker := time.NewTicker(20 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			mu.Lock()
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			mu.Unlock()
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+	fn()
+	close(done)
+	wg.Wait()
+	return peak
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// streamScale is small enough for CI but large enough that every figure
+// has non-trivial content in all nine cells.
+func streamScale() Scale {
+	return Scale{Name: "stream-diff", Machines2011: 60, Machines2019: 50,
+		Horizon: 6 * sim.Hour, Warmup: 2 * sim.Hour, Seed: 3}
+}
+
+// TestStreamingReportMatchesRetained is the tentpole acceptance gate: the
+// full nine-cell suite run with NoMemTrace must produce a report
+// byte-identical to the retained-trace post-hoc path on the same seed.
+func TestStreamingReportMatchesRetained(t *testing.T) {
+	sc := streamScale()
+	retained := tinySuiteAt(t, sc)
+
+	streamed, err := RunSuiteStreaming(sc, StreamingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range streamed.Stats {
+		if res.Trace != nil {
+			t.Fatalf("cell %d retained a trace despite NoMemTrace", i)
+		}
+		if res.Rows.Total() == 0 {
+			t.Fatalf("cell %d emitted no rows", i)
+		}
+	}
+
+	var retainedReport, streamedReport bytes.Buffer
+	if err := retained.WriteReport(&retainedReport); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamed.WriteReport(&streamedReport); err != nil {
+		t.Fatal(err)
+	}
+	if retainedReport.Len() == 0 {
+		t.Fatal("empty report")
+	}
+	if !bytes.Equal(retainedReport.Bytes(), streamedReport.Bytes()) {
+		t.Fatalf("streaming report diverges from retained report\nfirst difference near byte %d",
+			firstDiff(retainedReport.Bytes(), streamedReport.Bytes()))
+	}
+}
+
+// TestStreamingReportDeterministicAcrossParallelism extends the engine's
+// determinism contract to the reducer path: parallel reduction must not
+// change a byte.
+func TestStreamingReportDeterministicAcrossParallelism(t *testing.T) {
+	sc := streamScale()
+	sc.Parallelism = 1
+	serial, err := RunSuiteStreaming(sc, StreamingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Parallelism = 8
+	parallel, err := RunSuiteStreaming(sc, StreamingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.WriteReport(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("streaming report bytes differ between parallelism 1 and 8")
+	}
+}
+
+// TestStreamingExportShards drives the trace/io.go codecs through the
+// sink pipeline: a streaming run exports per-cell CSV shards while
+// simulating, and each shard must read back exactly the rows a retained
+// run produced — including the tail rows only a correct Flush ordering
+// delivers.
+func TestStreamingExportShards(t *testing.T) {
+	sc := streamScale()
+	dir := t.TempDir()
+	if _, err := RunSuiteStreaming(sc, StreamingOptions{ExportDir: dir, ExportBatch: 64}); err != nil {
+		t.Fatal(err)
+	}
+	retained := tinySuiteAt(t, sc)
+	traces := append([]*trace.MemTrace{retained.T2011}, retained.T2019...)
+	for i, want := range traces {
+		shard := filepath.Join(dir, ShardDirName(i, want.Meta.Cell))
+		got, err := trace.ReadDir(shard)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if got.Meta != want.Meta {
+			t.Fatalf("shard %d meta %+v != %+v", i, got.Meta, want.Meta)
+		}
+		if !reflect.DeepEqual(got.CollectionEvents, want.CollectionEvents) {
+			t.Fatalf("shard %d collection events differ", i)
+		}
+		if !reflect.DeepEqual(got.InstanceEvents, want.InstanceEvents) {
+			t.Fatalf("shard %d instance events differ", i)
+		}
+		if !reflect.DeepEqual(got.UsageRecords, want.UsageRecords) {
+			t.Fatalf("shard %d usage records differ (tail lost to a missing flush?)", i)
+		}
+		if !reflect.DeepEqual(got.MachineEvents, want.MachineEvents) {
+			t.Fatalf("shard %d machine events differ", i)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("expected 9 shards, found %d", len(entries))
+	}
+}
+
+// tinySuiteAt caches retained suites per scale so the three tests above
+// share one simulation of each configuration.
+var retainedCache = map[Scale]*Suite{}
+
+func tinySuiteAt(t *testing.T, sc Scale) *Suite {
+	t.Helper()
+	if s, ok := retainedCache[sc]; ok {
+		return s
+	}
+	s := RunSuite(sc)
+	retainedCache[sc] = s
+	return s
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

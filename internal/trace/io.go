@@ -24,56 +24,27 @@ const (
 )
 
 // WriteDir writes the trace as CSV tables plus meta.json into dir,
-// creating it if needed.
+// creating it if needed. It is the post-hoc counterpart of DirSink:
+// replaying the retained tables through a sink produces the identical
+// on-disk layout a streaming run would have written.
 func WriteDir(t *MemTrace, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("trace: create dir: %w", err)
-	}
-	meta, err := json.MarshalIndent(t.Meta, "", "  ")
+	s, err := NewDirSink(dir, t.Meta)
 	if err != nil {
-		return fmt.Errorf("trace: marshal meta: %w", err)
+		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, metaFile), meta, 0o644); err != nil {
-		return fmt.Errorf("trace: write meta: %w", err)
+	for _, ev := range t.CollectionEvents {
+		s.CollectionEvent(ev)
 	}
-	writers := []struct {
-		name  string
-		write func(w *csv.Writer) error
-	}{
-		{collectionEventsFile, t.writeCollectionEvents},
-		{instanceEventsFile, t.writeInstanceEvents},
-		{usageFile, t.writeUsage},
-		{machineEventsFile, t.writeMachineEvents},
+	for _, ev := range t.InstanceEvents {
+		s.InstanceEvent(ev)
 	}
-	for _, spec := range writers {
-		if err := writeCSVFile(filepath.Join(dir, spec.name), spec.write); err != nil {
-			return err
-		}
+	for _, rec := range t.UsageRecords {
+		s.Usage(rec)
 	}
-	return nil
-}
-
-func writeCSVFile(path string, write func(w *csv.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: create %s: %w", path, err)
+	for _, ev := range t.MachineEvents {
+		s.MachineEvent(ev)
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	w := csv.NewWriter(bw)
-	if err := write(w); err != nil {
-		f.Close()
-		return fmt.Errorf("trace: write %s: %w", path, err)
-	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		f.Close()
-		return fmt.Errorf("trace: flush %s: %w", path, err)
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("trace: flush %s: %w", path, err)
-	}
-	return f.Close()
+	return s.Close()
 }
 
 func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
@@ -81,88 +52,211 @@ func itoa(i int64) string   { return strconv.FormatInt(i, 10) }
 func utoa(u uint64) string  { return strconv.FormatUint(u, 10) }
 func ts(t sim.Time) string  { return itoa(int64(t)) }
 
-func (t *MemTrace) writeCollectionEvents(w *csv.Writer) error {
-	if err := w.Write([]string{
+// Per-row CSV encoders, shared by WriteDir and DirSink.
+
+func collectionEventHeader() []string {
+	return []string{
 		"time", "collection_id", "type", "collection_type", "priority",
 		"tier", "user", "parent_collection_id", "alloc_collection_id",
 		"scheduler", "vertical_scaling",
-	}); err != nil {
-		return err
 	}
-	for _, ev := range t.CollectionEvents {
-		if err := w.Write([]string{
-			ts(ev.Time), utoa(uint64(ev.Collection)), ev.Type.String(),
-			ev.CollectionType.String(), itoa(int64(ev.Priority)),
-			ev.Tier.String(), ev.User, utoa(uint64(ev.Parent)),
-			utoa(uint64(ev.AllocSet)), ev.Scheduler.String(),
-			ev.Scaling.String(),
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
-func (t *MemTrace) writeInstanceEvents(w *csv.Writer) error {
-	if err := w.Write([]string{
+func collectionEventRow(ev CollectionEvent) []string {
+	return []string{
+		ts(ev.Time), utoa(uint64(ev.Collection)), ev.Type.String(),
+		ev.CollectionType.String(), itoa(int64(ev.Priority)),
+		ev.Tier.String(), ev.User, utoa(uint64(ev.Parent)),
+		utoa(uint64(ev.AllocSet)), ev.Scheduler.String(),
+		ev.Scaling.String(),
+	}
+}
+
+func instanceEventHeader() []string {
+	return []string{
 		"time", "collection_id", "instance_index", "type", "machine_id",
 		"priority", "tier", "request_cpu", "request_mem",
 		"alloc_collection_id", "alloc_instance_index",
-	}); err != nil {
-		return err
 	}
-	for _, ev := range t.InstanceEvents {
-		if err := w.Write([]string{
-			ts(ev.Time), utoa(uint64(ev.Key.Collection)),
-			itoa(int64(ev.Key.Index)), ev.Type.String(),
-			itoa(int64(ev.Machine)), itoa(int64(ev.Priority)),
-			ev.Tier.String(), ftoa(ev.Request.CPU), ftoa(ev.Request.Mem),
-			utoa(uint64(ev.AllocInstance.Collection)),
-			itoa(int64(ev.AllocInstance.Index)),
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
-func (t *MemTrace) writeUsage(w *csv.Writer) error {
-	if err := w.Write([]string{
+func instanceEventRow(ev InstanceEvent) []string {
+	return []string{
+		ts(ev.Time), utoa(uint64(ev.Key.Collection)),
+		itoa(int64(ev.Key.Index)), ev.Type.String(),
+		itoa(int64(ev.Machine)), itoa(int64(ev.Priority)),
+		ev.Tier.String(), ftoa(ev.Request.CPU), ftoa(ev.Request.Mem),
+		utoa(uint64(ev.AllocInstance.Collection)),
+		itoa(int64(ev.AllocInstance.Index)),
+	}
+}
+
+func usageHeader() []string {
+	return []string{
 		"start_time", "end_time", "collection_id", "instance_index",
 		"machine_id", "tier", "avg_cpu", "avg_mem", "max_cpu", "max_mem",
 		"limit_cpu", "limit_mem",
-	}); err != nil {
-		return err
 	}
-	for _, rec := range t.UsageRecords {
-		if err := w.Write([]string{
-			ts(rec.Start), ts(rec.End), utoa(uint64(rec.Key.Collection)),
-			itoa(int64(rec.Key.Index)), itoa(int64(rec.Machine)),
-			rec.Tier.String(), ftoa(rec.AvgUsage.CPU), ftoa(rec.AvgUsage.Mem),
-			ftoa(rec.MaxUsage.CPU), ftoa(rec.MaxUsage.Mem),
-			ftoa(rec.Limit.CPU), ftoa(rec.Limit.Mem),
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
-func (t *MemTrace) writeMachineEvents(w *csv.Writer) error {
-	if err := w.Write([]string{
-		"time", "machine_id", "type", "capacity_cpu", "capacity_mem", "platform",
-	}); err != nil {
-		return err
+func usageRow(rec UsageRecord) []string {
+	return []string{
+		ts(rec.Start), ts(rec.End), utoa(uint64(rec.Key.Collection)),
+		itoa(int64(rec.Key.Index)), itoa(int64(rec.Machine)),
+		rec.Tier.String(), ftoa(rec.AvgUsage.CPU), ftoa(rec.AvgUsage.Mem),
+		ftoa(rec.MaxUsage.CPU), ftoa(rec.MaxUsage.Mem),
+		ftoa(rec.Limit.CPU), ftoa(rec.Limit.Mem),
 	}
-	for _, ev := range t.MachineEvents {
-		if err := w.Write([]string{
-			ts(ev.Time), itoa(int64(ev.Machine)), ev.Type.String(),
-			ftoa(ev.Capacity.CPU), ftoa(ev.Capacity.Mem), ev.Platform,
-		}); err != nil {
-			return err
+}
+
+func machineEventHeader() []string {
+	return []string{
+		"time", "machine_id", "type", "capacity_cpu", "capacity_mem", "platform",
+	}
+}
+
+func machineEventRow(ev MachineEvent) []string {
+	return []string{
+		ts(ev.Time), itoa(int64(ev.Machine)), ev.Type.String(),
+		ftoa(ev.Capacity.CPU), ftoa(ev.Capacity.Mem), ev.Platform,
+	}
+}
+
+// tableWriter is one CSV table's open write path.
+type tableWriter struct {
+	file *os.File
+	buf  *bufio.Writer
+	csv  *csv.Writer
+}
+
+// DirSink streams trace rows to the same on-disk CSV layout WriteDir
+// produces — one file per table plus meta.json — as the simulation emits
+// them, so writing a trace needs no in-memory retention at all. Wrap it
+// in a BufferedSink to amortize per-row dispatch on hot paths, and in a
+// SyncSink if several concurrently simulated cells share one sink
+// (per-cell shard directories avoid that need entirely).
+//
+// The Sink interface carries no error returns, so write errors are
+// sticky: the first one is retained, subsequent rows are dropped, and
+// Err/Close surface it.
+type DirSink struct {
+	dir    string
+	tables [4]tableWriter // collection, instance, usage, machine
+	err    error
+	closed bool
+}
+
+// Table indexes into DirSink.tables.
+const (
+	tabCollection = iota
+	tabInstance
+	tabUsage
+	tabMachine
+)
+
+// NewDirSink creates dir (if needed), writes meta.json and the four CSV
+// headers, and returns a sink streaming rows into the table files.
+func NewDirSink(dir string, meta Meta) (*DirSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: create dir: %w", err)
+	}
+	metaBytes, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("trace: marshal meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), metaBytes, 0o644); err != nil {
+		return nil, fmt.Errorf("trace: write meta: %w", err)
+	}
+	s := &DirSink{dir: dir}
+	specs := []struct {
+		name   string
+		header []string
+	}{
+		{collectionEventsFile, collectionEventHeader()},
+		{instanceEventsFile, instanceEventHeader()},
+		{usageFile, usageHeader()},
+		{machineEventsFile, machineEventHeader()},
+	}
+	for i, spec := range specs {
+		f, err := os.Create(filepath.Join(dir, spec.name))
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("trace: create %s: %w", spec.name, err)
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		cw := csv.NewWriter(bw)
+		s.tables[i] = tableWriter{file: f, buf: bw, csv: cw}
+		if err := cw.Write(spec.header); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("trace: write %s header: %w", spec.name, err)
 		}
 	}
-	return nil
+	return s, nil
+}
+
+func (s *DirSink) write(table int, row []string) {
+	if s.err != nil || s.closed {
+		return
+	}
+	if err := s.tables[table].csv.Write(row); err != nil {
+		s.err = fmt.Errorf("trace: write %s: %w", s.dir, err)
+	}
+}
+
+// CollectionEvent writes the row.
+func (s *DirSink) CollectionEvent(ev CollectionEvent) { s.write(tabCollection, collectionEventRow(ev)) }
+
+// InstanceEvent writes the row.
+func (s *DirSink) InstanceEvent(ev InstanceEvent) { s.write(tabInstance, instanceEventRow(ev)) }
+
+// Usage writes the row.
+func (s *DirSink) Usage(rec UsageRecord) { s.write(tabUsage, usageRow(rec)) }
+
+// MachineEvent writes the row.
+func (s *DirSink) MachineEvent(ev MachineEvent) { s.write(tabMachine, machineEventRow(ev)) }
+
+// Flush pushes buffered rows to the operating system. It is idempotent
+// and safe to call mid-run (e.g. via trace.Flush on the pipeline).
+func (s *DirSink) Flush() {
+	if s.closed {
+		return
+	}
+	for i := range s.tables {
+		t := &s.tables[i]
+		t.csv.Flush()
+		if err := t.csv.Error(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("trace: flush %s: %w", s.dir, err)
+		}
+		if err := t.buf.Flush(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("trace: flush %s: %w", s.dir, err)
+		}
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *DirSink) Err() error { return s.err }
+
+// Close flushes and closes the table files, returning the first error
+// encountered over the sink's lifetime. Further rows are dropped.
+func (s *DirSink) Close() error {
+	if s.closed {
+		return s.err
+	}
+	s.Flush()
+	s.closed = true
+	s.closeFiles()
+	return s.err
+}
+
+func (s *DirSink) closeFiles() {
+	for i := range s.tables {
+		if f := s.tables[i].file; f != nil {
+			if err := f.Close(); err != nil && s.err == nil {
+				s.err = fmt.Errorf("trace: close %s: %w", s.dir, err)
+			}
+			s.tables[i].file = nil
+		}
+	}
 }
 
 // ReadDir loads a trace previously written by WriteDir. CPU histograms are

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -104,5 +105,92 @@ func TestParseHelpers(t *testing.T) {
 		if err != nil || got != tier {
 			t.Fatalf("tier round trip %v", tier)
 		}
+	}
+}
+
+// TestDirSinkStreamsIdenticalToWriteDir pins the shared-encoder property:
+// streaming rows through a DirSink (here behind a BufferedSink, as the
+// suite export wires it) produces byte-identical files to post-hoc
+// WriteDir of the same trace, and a trailing Flush delivers the buffered
+// tail before Close.
+func TestDirSinkStreamsIdenticalToWriteDir(t *testing.T) {
+	tr := newTestTrace()
+	postDir, streamDir := t.TempDir(), t.TempDir()
+	if err := WriteDir(tr, postDir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDirSink(streamDir, tr.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large batch: nothing reaches the files until the pipeline flushes,
+	// which is exactly the tail a missing Flush would lose.
+	bs := NewBufferedSink(ds, 1<<20)
+	for _, ev := range tr.MachineEvents {
+		bs.MachineEvent(ev)
+	}
+	for _, ev := range tr.CollectionEvents {
+		bs.CollectionEvent(ev)
+	}
+	for _, ev := range tr.InstanceEvents {
+		bs.InstanceEvent(ev)
+	}
+	for _, rec := range tr.UsageRecords {
+		bs.Usage(rec)
+	}
+	Flush(bs) // drains the buffer into the DirSink and flushes it
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{metaFile, collectionEventsFile, instanceEventsFile, usageFile, machineEventsFile} {
+		want, err := os.ReadFile(filepath.Join(postDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(streamDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s differs between streamed and post-hoc write", name)
+		}
+	}
+}
+
+// TestDirSinkMidRunFlushAndCloseIdempotent exercises Flush mid-stream
+// (rows written so far become visible on disk) and double Close.
+func TestDirSinkMidRunFlushAndCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDirSink(dir, Meta{Cell: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.MachineEvent(MachineEvent{Time: 0, Machine: 1, Type: MachineAdd, Capacity: Resources{CPU: 1, Mem: 1}, Platform: "P0"})
+	ds.Flush()
+	mid, err := os.ReadFile(filepath.Join(dir, machineEventsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(mid), "\n"); lines != 2 { // header + 1 row
+		t.Fatalf("mid-run flush left %d lines visible, want 2", lines)
+	}
+	ds.MachineEvent(MachineEvent{Time: 1, Machine: 2, Type: MachineAdd, Capacity: Resources{CPU: 1, Mem: 1}, Platform: "P0"})
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Rows after Close are dropped, not panicking or resurrecting files.
+	ds.MachineEvent(MachineEvent{Time: 2, Machine: 3, Type: MachineAdd})
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MachineEvents) != 2 {
+		t.Fatalf("machine events %d, want 2", len(got.MachineEvents))
+	}
+	if ds.Err() != nil {
+		t.Fatalf("unexpected sink error: %v", ds.Err())
 	}
 }
