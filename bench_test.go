@@ -22,6 +22,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -456,4 +457,31 @@ func miceDelayP90(hogPriority int) float64 {
 		}
 	}
 	return stats.Quantile(delays, 0.9)
+}
+
+// BenchmarkSweepSmall is the parameter-sweep macro benchmark gated in
+// CI: a 2-seed × 2-variant sweep of the nine-cell suite at a small
+// scale, streaming reducers only (NoMemTrace), report rendered to
+// io.Discard. It exercises grid expansion, common-random-numbers
+// seeding, per-spec reducer attachment and cross-seed aggregation — the
+// whole internal/sweep path.
+func BenchmarkSweepSmall(b *testing.B) {
+	def := sweep.Def{
+		Scale: experiments.Scale{
+			Name: "sweep-bench", Machines2011: 60, Machines2019: 50,
+			Horizon: 3 * sim.Hour, Warmup: sim.Hour, Seed: 7,
+		},
+		Seeds:    2,
+		Variants: []sweep.Variant{sweep.Baseline(), sweep.ArrivalScale(1.5)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(def)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.WriteReport(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

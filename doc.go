@@ -43,6 +43,10 @@
 //     merge, with two interchangeable front ends: post-hoc over a
 //     retained MemTrace, or online via streaming.CellReducer — a
 //     trace.Sink that folds rows as the simulation emits them.
+//   - internal/sweep — parameter sweeps over the engine: seed × variant
+//     × cell grids with common-random-numbers seeding, per-point
+//     streaming reducers, and cross-seed statistics (mean, stddev, 95%
+//     CI per variant × metric), reported by cmd/borgsweep.
 //
 // # Placement fast path
 //
@@ -83,6 +87,31 @@
 // streamed report vs retained report), a benchmark-regression gate
 // against the checked-in baselines, and a peak-HeapAlloc ceiling on the
 // LargeScale streaming suite.
+//
+// # Parameter sweeps
+//
+// The paper's numbers are single-trace observations; internal/sweep
+// quantifies their run-to-run variance and parameter sensitivity. A
+// sweep is N root-seed replicates × M named profile variants (overlays
+// mutating workload.CellProfile knobs: arrival-rate multipliers,
+// machine-count scaling, tier-mix shifts, overcommit and
+// admission-ceiling settings), each grid point simulating the full
+// nine-cell suite with one streaming reducer per cell and NoMemTrace —
+// wide sweeps cost reducer state, never retained traces. Grid seeds
+// follow engine.DeriveGridSeed(root, run, cell): they depend only on the
+// replicate and cell, never on the variant list, so all variants of a
+// replicate face the same stochastic world (common random numbers) and
+// cross-variant deltas are not seed noise. Each grid point reduces to a
+// scalar metric vector (streaming.Scalars averaged over the 2019 cells
+// plus scheduler counters); across replicates every variant × metric
+// gets a stats.CrossRun — mean, sample stddev, min/max and a 95%
+// Student-t confidence interval — rendered as a variant × metric report
+// and per-metric CSVs. cmd/borgsweep drives it:
+//
+//	borgsweep -scale small -seeds 5 -variants arrival:0.5,1.0,2.0 -csv out/
+//
+// Same root seed + same definition ⇒ byte-identical sweep report at any
+// -parallel setting; CI smoke-tests exactly that.
 //
 // The root-level benchmarks (bench_test.go) regenerate each table and
 // figure and measure the engine's parallel speedup; cmd/borgexperiments

@@ -102,6 +102,8 @@ type Autopilot struct {
 	sink    trace.Sink
 	windows map[trace.InstanceKey]*window
 
+	setRequest func(*scheduler.Task, trace.Resources)
+
 	updates int
 }
 
@@ -119,6 +121,14 @@ func New(cfg Config, cell *cluster.Cell, sink trace.Sink) *Autopilot {
 		sink:    sink,
 		windows: make(map[trace.InstanceKey]*window),
 	}
+}
+
+// OnLimitChange registers fn as the writer of task request updates —
+// typically the scheduler's accounting-aware setter, so admission sums
+// maintained incrementally over task requests stay consistent with
+// autoscaling. When unset, the autopilot writes t.Request directly.
+func (a *Autopilot) OnLimitChange(fn func(*scheduler.Task, trace.Resources)) {
+	a.setRequest = fn
 }
 
 // Updates returns how many limit updates have been issued.
@@ -184,7 +194,11 @@ func (a *Autopilot) Observe(now sim.Time, t *scheduler.Task, peakUsage trace.Res
 			a.cell.UpdateLimit(t.Machine, t.Key, rec)
 		}
 	}
-	t.Request = rec
+	if a.setRequest != nil {
+		a.setRequest(t, rec)
+	} else {
+		t.Request = rec
+	}
 	a.updates++
 	a.sink.InstanceEvent(trace.InstanceEvent{
 		Time:          now,

@@ -118,18 +118,24 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	}
 	schedCfg.ProdEvictionSLO = 0.08
 	if p.BatchQueue {
+		ceiling := p.BatchAllocCeiling
+		if ceiling <= 0 {
+			ceiling = 0.85
+		}
 		schedCfg.Batch = &scheduler.BatchConfig{
 			CheckPeriod:      20 * sim.Second,
-			AllocCeiling:     0.85,
+			AllocCeiling:     ceiling,
 			MaxAdmitPerCheck: 8,
 		}
 	}
 	sched := scheduler.New(schedCfg, cell, k, sink, root.Split("scheduler"))
 
-	// Autopilot.
+	// Autopilot. Limit updates flow through the scheduler's setter so its
+	// incremental admission accounting tracks autoscaled requests.
 	var ap *autopilot.Autopilot
 	if !opts.DisableAutopilot {
 		ap = autopilot.New(autopilot.DefaultConfig(p.Overcommit), cell, sink)
+		ap.OnLimitChange(sched.UpdateTaskRequest)
 	}
 
 	// Workload arrivals.

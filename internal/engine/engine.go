@@ -69,6 +69,29 @@ func IDBase(cell int) trace.CollectionID {
 	return trace.CollectionID(cell) << 32
 }
 
+// DeriveGridSeed maps a sweep's root seed and a 2-D grid coordinate
+// (run, cell) to that point's simulation seed: replicate run's root
+// derives from the sweep root, and cell seeds derive from the replicate
+// root exactly as single-run suites derive theirs. The result depends
+// only on (root, run, cell) — never on how many variants or runs the
+// sweep contains — so every variant of replicate run simulates each cell
+// against the same stochastic world (common random numbers), which is
+// what makes cross-variant differences at a fixed seed meaningful.
+func DeriveGridSeed(root uint64, run, cell int) uint64 {
+	return DeriveSeed(DeriveSeed(root, run), cell)
+}
+
+// NewGridSpec builds the spec for one point of a seed × variant × cell
+// sweep grid: the simulation seed comes from DeriveGridSeed(root, run,
+// cell) while the collection-ID space comes from the point's flat grid
+// index, keeping every grid point's IDs disjoint even though variants
+// share seeds.
+func NewGridSpec(run, cell, flat int, p *workload.CellProfile, base core.Options, root uint64) Spec {
+	base.Seed = DeriveGridSeed(root, run, cell)
+	base.IDBase = IDBase(flat)
+	return Spec{Profile: p, Options: base}
+}
+
 // NewSpec builds the spec for cell index i of a run rooted at seed root,
 // applying the engine's seed and ID-space contracts to base options.
 func NewSpec(i int, p *workload.CellProfile, base core.Options, root uint64) Spec {

@@ -153,3 +153,40 @@ func TestAttachSinksPerCell(t *testing.T) {
 		}
 	}
 }
+
+// TestDeriveGridSeed pins the 2-D sweep seed contract: composition of
+// DeriveSeed (so replicate roots and cell seeds follow the published
+// 1-D contract), collision-freedom over a realistic grid, and — by
+// construction — independence from anything but (root, run, cell).
+func TestDeriveGridSeed(t *testing.T) {
+	if got, want := DeriveGridSeed(7, 3, 5), DeriveSeed(DeriveSeed(7, 3), 5); got != want {
+		t.Fatalf("DeriveGridSeed(7,3,5)=%d, want DeriveSeed composition %d", got, want)
+	}
+	seen := make(map[uint64][2]int)
+	for run := 0; run < 64; run++ {
+		for cell := 0; cell < 16; cell++ {
+			s := DeriveGridSeed(1, run, cell)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d)", run, cell, prev[0], prev[1])
+			}
+			seen[s] = [2]int{run, cell}
+		}
+	}
+}
+
+// TestNewGridSpec checks grid specs carry the grid seed and the flat
+// index's disjoint ID space.
+func TestNewGridSpec(t *testing.T) {
+	p := workload.Profile2019("a", 10)
+	base := core.Options{Horizon: 2 * sim.Hour, NoMemTrace: true}
+	spec := NewGridSpec(2, 4, 23, p, base, 9)
+	if spec.Options.Seed != DeriveGridSeed(9, 2, 4) {
+		t.Fatalf("grid spec seed %d", spec.Options.Seed)
+	}
+	if spec.Options.IDBase != IDBase(23) {
+		t.Fatalf("grid spec ID base %d", spec.Options.IDBase)
+	}
+	if spec.Profile != p || !spec.Options.NoMemTrace || spec.Options.Horizon != 2*sim.Hour {
+		t.Fatal("grid spec dropped base options or profile")
+	}
+}

@@ -74,17 +74,41 @@ type Suite struct {
 	an *suiteAnalyses // lazily built post-hoc analysis surface
 }
 
+// SuiteProfiles builds the suite's nine cell profiles — the 2011 cell at
+// index 0, then the 2019 cells a–h. Every call constructs fresh profile
+// values, so callers (parameter-sweep variants in particular) may mutate
+// them freely without affecting other runs.
+func SuiteProfiles(sc Scale) []*workload.CellProfile {
+	profiles := make([]*workload.CellProfile, 0, 9)
+	profiles = append(profiles, workload.Profile2011(sc.Machines2011))
+	for _, cell := range workload.Cells2019() {
+		profiles = append(profiles, workload.Profile2019(cell, sc.Machines2019))
+	}
+	return profiles
+}
+
+// SuiteSpecsWith builds the suite's nine cell specs with overlay applied
+// to each freshly built profile first (nil means none) — the hook
+// parameter sweeps use to vary profile knobs per variant. Seeds and ID
+// spaces are assigned per the engine contracts.
+func SuiteSpecsWith(sc Scale, overlay func(*workload.CellProfile)) []engine.Spec {
+	base := core.Options{Horizon: sc.Horizon}
+	profiles := SuiteProfiles(sc)
+	specs := make([]engine.Spec, 0, len(profiles))
+	for i, p := range profiles {
+		if overlay != nil {
+			overlay(p)
+		}
+		specs = append(specs, engine.NewSpec(i, p, base, sc.Seed))
+	}
+	return specs
+}
+
 // SuiteSpecs builds the suite's nine cell specs — the 2011 cell at index
 // 0, then the eight 2019 cells a–h — with seeds and ID spaces assigned
 // per the engine contracts.
 func SuiteSpecs(sc Scale) []engine.Spec {
-	base := core.Options{Horizon: sc.Horizon}
-	specs := make([]engine.Spec, 0, 9)
-	specs = append(specs, engine.NewSpec(0, workload.Profile2011(sc.Machines2011), base, sc.Seed))
-	for i, cell := range workload.Cells2019() {
-		specs = append(specs, engine.NewSpec(i+1, workload.Profile2019(cell, sc.Machines2019), base, sc.Seed))
-	}
-	return specs
+	return SuiteSpecsWith(sc, nil)
 }
 
 // RunSuite simulates the 2011 cell and the eight 2019 cells, sc.Parallelism

@@ -35,6 +35,22 @@ type StreamingOptions struct {
 	ExportBatch int
 }
 
+// NewCellReducerFor builds the streaming reducer matching one cell spec:
+// metadata equal to what core.Run would stamp on a retained trace, and
+// the Figure 6 snapshot pinned at mid-horizon.
+func NewCellReducerFor(spec engine.Spec) *streaming.CellReducer {
+	return streaming.NewCellReducer(streaming.Config{
+		Meta: trace.Meta{
+			Era:      spec.Profile.Era,
+			Cell:     spec.Profile.Name,
+			Duration: spec.Options.Horizon,
+			Machines: spec.Profile.Machines,
+			Seed:     spec.Options.Seed,
+		},
+		SnapshotAt: spec.Options.Horizon / 2,
+	})
+}
+
 // SuiteReducers builds the nine per-cell reducers for a scale, with
 // metadata matching what core.Run would stamp on a retained trace and the
 // Figure 6 snapshot pinned at mid-horizon.
@@ -42,16 +58,7 @@ func SuiteReducers(sc Scale) (r2011 *streaming.CellReducer, r2019 []*streaming.C
 	specs := SuiteSpecs(sc)
 	reducers := make([]*streaming.CellReducer, len(specs))
 	for i, spec := range specs {
-		reducers[i] = streaming.NewCellReducer(streaming.Config{
-			Meta: trace.Meta{
-				Era:      spec.Profile.Era,
-				Cell:     spec.Profile.Name,
-				Duration: sc.Horizon,
-				Machines: spec.Profile.Machines,
-				Seed:     spec.Options.Seed,
-			},
-			SnapshotAt: sc.Horizon / 2,
-		})
+		reducers[i] = NewCellReducerFor(spec)
 	}
 	return reducers[0], reducers[1:]
 }

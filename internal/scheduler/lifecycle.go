@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -106,14 +107,36 @@ func (s *Scheduler) batchAdmissionCheck() {
 
 // bebAllocatedFraction returns the best-effort batch tier's current share
 // of cell CPU capacity, counting both running allocations and tasks already
-// waiting for placement.
+// waiting for placement. The numerator is the incrementally maintained
+// bebAllocCPU sum — O(1) per admission check instead of walking every job
+// ever submitted — and, unlike the recomputed walk it replaced, its
+// summation order is simulation order, not map order, so the value is
+// identical across same-seed runs down to the last bit.
 func (s *Scheduler) bebAllocatedFraction() float64 {
 	capacity := s.cell.Capacity().CPU
 	if capacity <= 0 {
 		return 1
 	}
+	return s.bebAllocCPU / capacity
+}
+
+// bebAllocatedFractionRecomputed is the pre-incremental full walk, kept
+// as the oracle for the equivalence test: the two must agree to floating-
+// point reassociation noise at every admission check. Jobs are visited in
+// sorted ID order so the oracle itself is reproducible.
+func (s *Scheduler) bebAllocatedFractionRecomputed() float64 {
+	capacity := s.cell.Capacity().CPU
+	if capacity <= 0 {
+		return 1
+	}
+	ids := make([]trace.CollectionID, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	alloc := 0.0
-	for _, j := range s.jobs {
+	for _, id := range ids {
+		j := s.jobs[id]
 		if j.Tier != trace.TierBestEffortBatch || j.State == JobDone || j.State == JobQueued {
 			continue
 		}
@@ -199,6 +222,7 @@ func (s *Scheduler) finishTask(t *Task, final trace.EventType) {
 		return
 	}
 	t.State = TaskDead
+	s.accountBEB(t)
 	s.emitInstance(t, final, s.k.Now())
 	t.Job.liveTasks--
 	if t.Job.liveTasks <= 0 && t.Job.State != JobDone {
@@ -215,6 +239,7 @@ func (s *Scheduler) terminateJob(j *Job, final trace.EventType) {
 	}
 	j.State = JobDone
 	j.FinalType = final
+	s.accountBEBJob(j)
 	s.k.Cancel(j.killEvent)
 	j.killEvent = sim.EventRef{}
 	s.emitCollection(j, final)
@@ -325,6 +350,7 @@ func (s *Scheduler) Evict(t *Task) {
 // trace), while actual placement eligibility is delayed.
 func (s *Scheduler) requeueAfter(t *Task, delay sim.Time) {
 	t.State = TaskWaiting
+	s.accountBEB(t)
 	t.Reschedules++
 	s.emitInstance(t, trace.EventSubmit, s.k.Now())
 	t.retryEvent = s.k.After(delay, s.retryFn(t))

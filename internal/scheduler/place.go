@@ -280,6 +280,7 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 func (s *Scheduler) retryLater(t *Task) {
 	s.stats.PlacementRetries++
 	t.State = TaskWaiting
+	s.accountBEB(t)
 	t.retryEvent = s.k.After(s.cfg.RetryBackoff, s.retryFn(t))
 }
 

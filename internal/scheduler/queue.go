@@ -37,6 +37,7 @@ func (h *taskHeap) Pop() any {
 // enqueue adds a task to the pending queue and pokes the scheduling server.
 func (s *Scheduler) enqueue(t *Task) {
 	t.State = TaskPending
+	s.accountBEB(t)
 	t.enqueueSeq = s.seq
 	s.seq++
 	heap.Push(&s.pending, t)

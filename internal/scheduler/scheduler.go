@@ -189,16 +189,23 @@ type Task struct {
 	endFn   func(sim.Time)
 	retryFn func(sim.Time)
 
-	remaining   sim.Time
-	segment     sim.Time // remaining time in the current segment plan
-	runStart    sim.Time
-	endEvent    sim.EventRef
-	retryEvent  sim.EventRef
-	enqueueSeq  uint64
-	submitted   bool // first instance SUBMIT emitted
-	Reschedules int  // SUBMIT events beyond the first
-	Evictions   int
-	oomFails    int // times killed for exceeding its own memory limit
+	remaining  sim.Time
+	segment    sim.Time // remaining time in the current segment plan
+	runStart   sim.Time
+	endEvent   sim.EventRef
+	retryEvent sim.EventRef
+	enqueueSeq uint64
+	submitted  bool // first instance SUBMIT emitted
+	// bebCounted/bebCountedCPU track this task's contribution to the
+	// scheduler's incremental beb CPU sum: the recorded amount — not the
+	// live Request — is what removal subtracts, so even a request write
+	// that bypasses UpdateTaskRequest can only make the sum stale until
+	// the task's next transition, never permanently drift it.
+	bebCounted    bool
+	bebCountedCPU float64
+	Reschedules   int // SUBMIT events beyond the first
+	Evictions     int
+	oomFails      int // times killed for exceeding its own memory limit
 }
 
 // JobState is a job's position in its lifecycle.
@@ -372,6 +379,13 @@ type Scheduler struct {
 
 	batchQueue []*Job
 
+	// bebAllocCPU is the incrementally maintained sum of CPU requests of
+	// best-effort-batch tasks that are pending or running in admitted
+	// jobs — the numerator of bebAllocatedFraction. Maintained at every
+	// task/job state transition and request update instead of walking all
+	// jobs each admission check.
+	bebAllocCPU float64
+
 	stats Stats
 
 	// UnplaceHook, when set, is invoked just before a running task
@@ -421,6 +435,53 @@ func (s *Scheduler) Stats() Stats {
 
 // Job returns a submitted job by ID, or nil.
 func (s *Scheduler) Job(id trace.CollectionID) *Job { return s.jobs[id] }
+
+// accountBEB reconciles one task's contribution to the incremental
+// best-effort-batch allocated-CPU sum with its current state: a task
+// counts while it is pending or running inside a job that is neither
+// done nor still held in the batch queue (the same predicate the
+// admission controller's recomputed walk used). Idempotent — callers
+// invoke it after any transition that might change eligibility.
+func (s *Scheduler) accountBEB(t *Task) {
+	if t.Job.Tier != trace.TierBestEffortBatch {
+		return
+	}
+	want := (t.State == TaskPending || t.State == TaskRunning) &&
+		t.Job.State != JobDone && t.Job.State != JobQueued
+	if want == t.bebCounted {
+		return
+	}
+	if want {
+		t.bebCountedCPU = t.Request.CPU
+		s.bebAllocCPU += t.bebCountedCPU
+	} else {
+		s.bebAllocCPU -= t.bebCountedCPU
+		t.bebCountedCPU = 0
+	}
+	t.bebCounted = want
+}
+
+// accountBEBJob reconciles every task of a job after a job-level state
+// change (queued → ready, ready → done).
+func (s *Scheduler) accountBEBJob(j *Job) {
+	if j.Tier != trace.TierBestEffortBatch {
+		return
+	}
+	for _, t := range j.Tasks {
+		s.accountBEB(t)
+	}
+}
+
+// UpdateTaskRequest changes a task's resource request in place (the
+// autopilot's limit updates route through here) while keeping the
+// incremental admission accounting consistent with the new request.
+func (s *Scheduler) UpdateTaskRequest(t *Task, rec trace.Resources) {
+	if t.bebCounted {
+		s.bebAllocCPU += rec.CPU - t.bebCountedCPU
+		t.bebCountedCPU = rec.CPU
+	}
+	t.Request = rec
+}
 
 // RunningTasks calls fn for every running task in the cell, in a
 // deterministic (sorted-key) order so callers may consume randomness.

@@ -1,0 +1,74 @@
+package stats
+
+import "math"
+
+// CrossRun summarizes independent replicate measurements of one metric —
+// the same figure computed from N different simulation seeds. Unlike
+// Summary (which describes a within-run sample population), CrossRun
+// estimates the metric's run-to-run distribution: sample mean, unbiased
+// (n−1) standard deviation, the observed range, and the half-width of
+// the two-sided 95% Student-t confidence interval for the mean.
+type CrossRun struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	// CI95 is the 95% confidence half-width: mean ± CI95 covers the true
+	// mean with 95% confidence under the usual normality assumption.
+	// Zero when N < 2 (no variance estimate exists).
+	CI95 float64
+}
+
+// tCrit95 holds the two-sided 95% Student-t critical values for 1–30
+// degrees of freedom; beyond 30 the normal value 1.96 is close enough.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (1.96 asymptote past df 30, NaN for df < 1).
+func TCritical95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(tCrit95) {
+		return tCrit95[df-1]
+	}
+	return 1.960
+}
+
+// SummarizeRuns computes cross-replicate statistics over xs, one value
+// per independent run. An empty sample yields a zero CrossRun; a single
+// run yields its value with zero spread and zero CI.
+func SummarizeRuns(xs []float64) CrossRun {
+	if len(xs) == 0 {
+		return CrossRun{}
+	}
+	out := CrossRun{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < out.Min {
+			out.Min = x
+		}
+		if x > out.Max {
+			out.Max = x
+		}
+	}
+	n := float64(len(xs))
+	out.Mean = sum / n
+	if len(xs) < 2 {
+		return out
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - out.Mean
+		ss += d * d
+	}
+	out.Stddev = math.Sqrt(ss / (n - 1))
+	out.CI95 = TCritical95(len(xs)-1) * out.Stddev / math.Sqrt(n)
+	return out
+}

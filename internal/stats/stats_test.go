@@ -344,3 +344,46 @@ func TestTopShareMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSummarizeRuns(t *testing.T) {
+	if got := SummarizeRuns(nil); got != (CrossRun{}) {
+		t.Fatalf("empty: %+v", got)
+	}
+	one := SummarizeRuns([]float64{3.5})
+	if one.N != 1 || one.Mean != 3.5 || one.Stddev != 0 || one.CI95 != 0 || one.Min != 3.5 || one.Max != 3.5 {
+		t.Fatalf("single run: %+v", one)
+	}
+
+	// Hand-checked: mean 4, sample variance ((−2)²+0²+2²)/2 = 4, stddev 2,
+	// CI95 = t(df=2)=4.303 × 2/√3.
+	cr := SummarizeRuns([]float64{2, 4, 6})
+	if cr.N != 3 || cr.Mean != 4 || cr.Min != 2 || cr.Max != 6 {
+		t.Fatalf("runs: %+v", cr)
+	}
+	if math.Abs(cr.Stddev-2) > 1e-12 {
+		t.Fatalf("stddev %g, want 2", cr.Stddev)
+	}
+	want := 4.303 * 2 / math.Sqrt(3)
+	if math.Abs(cr.CI95-want) > 1e-9 {
+		t.Fatalf("CI95 %g, want %g", cr.CI95, want)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if !math.IsNaN(TCritical95(0)) {
+		t.Fatal("df 0 must be NaN")
+	}
+	if TCritical95(1) != 12.706 || TCritical95(30) != 2.042 {
+		t.Fatalf("table ends: %g %g", TCritical95(1), TCritical95(30))
+	}
+	if TCritical95(31) != 1.960 || TCritical95(10000) != 1.960 {
+		t.Fatal("asymptote")
+	}
+	// Critical values decrease toward the normal limit (flat once the
+	// asymptote takes over).
+	for df := 2; df <= 40; df++ {
+		if TCritical95(df) > TCritical95(df-1) {
+			t.Fatalf("t-critical increases at df %d", df)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/report"
+	"repro/internal/table"
+)
+
+// WriteReport renders the sweep: a header describing the grid, a
+// variant × metric summary of cross-seed means, then one table per
+// metric with the full cross-seed statistics (mean, stddev, min, max,
+// 95% CI half-width, n). Output is a pure function of the Result, so the
+// determinism contract extends to the report bytes.
+func (r *Result) WriteReport(w io.Writer) error {
+	d := r.Def
+	if _, err := fmt.Fprintf(w,
+		"== sweep: scale %q · %d seeds × %d variants × %d cells · root seed %d ==\n",
+		d.Scale.Name, d.Seeds, len(r.Variants), r.Cells, d.Scale.Seed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"(scalar metrics averaged over the eight 2019 cells; preemptions/oom summed; ±95%% CI via Student-t, n=%d)\n\n",
+		d.Seeds); err != nil {
+		return err
+	}
+
+	headers := append([]string{"variant"}, r.Metrics...)
+	rows := make([][]string, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		row := []string{v.Name}
+		for _, st := range v.Stats {
+			row = append(row, report.F(st.Mean))
+		}
+		rows = append(rows, row)
+	}
+	if _, err := fmt.Fprintln(w, "== sweep summary: cross-seed means =="); err != nil {
+		return err
+	}
+	if err := report.Table(w, headers, rows); err != nil {
+		return err
+	}
+
+	for m, name := range r.Metrics {
+		if _, err := fmt.Fprintf(w, "\n== metric %s ==\n", name); err != nil {
+			return err
+		}
+		rows := make([][]string, 0, len(r.Variants))
+		for _, v := range r.Variants {
+			st := v.Stats[m]
+			rows = append(rows, []string{
+				v.Name,
+				report.F(st.Mean),
+				report.F(st.Stddev),
+				report.F(st.Min),
+				report.F(st.Max),
+				report.F(st.CI95),
+				strconv.Itoa(st.N),
+			})
+		}
+		if err := report.Table(w, []string{"variant", "mean", "stddev", "min", "max", "ci95±", "n"}, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table materializes the sweep's per-seed measurements as a long-form
+// columnar table (variant, seed, metric, value) — the shape the table
+// engine's filters and group-bys consume, and the source of the CSV
+// exports.
+func (r *Result) Table() *table.Table {
+	t := table.New(
+		table.Column{Name: "variant", Type: table.String},
+		table.Column{Name: "seed", Type: table.Int64},
+		table.Column{Name: "metric", Type: table.String},
+		table.Column{Name: "value", Type: table.Float64},
+	)
+	for _, v := range r.Variants {
+		for run, vec := range v.PerSeed {
+			for m, x := range vec {
+				t.Append(v.Name, int64(run), r.Metrics[m], x)
+			}
+		}
+	}
+	return t
+}
+
+// WriteCSVs exports the sweep to dir (created if needed): one
+// <metric>.csv per metric with the per-seed values in long form, plus
+// summary.csv holding every variant × metric CrossRun. Files are written
+// deterministically, so two runs of the same sweep produce identical
+// bytes.
+func (r *Result) WriteCSVs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	long := r.Table()
+	for _, name := range r.Metrics {
+		q := table.From(long).Where(table.EqString("metric", name))
+		variants := q.StringCol("variant")
+		seeds := q.IntCol("seed")
+		values := q.FloatCol("value")
+		rows := make([][]string, len(values))
+		for i := range values {
+			rows[i] = []string{variants[i], strconv.FormatInt(seeds[i], 10), report.F(values[i])}
+		}
+		if err := writeCSVFile(filepath.Join(dir, name+".csv"),
+			[]string{"variant", "seed", name}, rows); err != nil {
+			return err
+		}
+	}
+
+	var rows [][]string
+	for _, v := range r.Variants {
+		for m, st := range v.Stats {
+			rows = append(rows, []string{
+				v.Name, r.Metrics[m],
+				report.F(st.Mean), report.F(st.Stddev),
+				report.F(st.Min), report.F(st.Max),
+				report.F(st.CI95), strconv.Itoa(st.N),
+			})
+		}
+	}
+	return writeCSVFile(filepath.Join(dir, "summary.csv"),
+		[]string{"variant", "metric", "mean", "stddev", "min", "max", "ci95", "n"}, rows)
+}
+
+// writeCSVFile writes one CSV through the report codec.
+func writeCSVFile(path string, headers []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteCSV(f, headers, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

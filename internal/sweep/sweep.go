@@ -1,0 +1,188 @@
+// Package sweep runs seed × profile parameter sweeps on the multi-cell
+// engine and reduces them to cross-seed statistics. The paper's headline
+// observations (tier mix, utilization, overcommit behavior) are
+// single-trace numbers; a sweep quantifies their run-to-run variance and
+// parameter sensitivity: N root-seed replicates × M named profile
+// variants, each point simulating the full nine-cell suite (the 2011
+// cell plus the 2019 cells a–h), with every figure folded online by
+// streaming reducers — a sweep cell costs its reducer state, never a
+// retained trace.
+//
+// # Grid contract
+//
+// The grid expands through the engine's published helpers: grid point
+// (run, variant, cell) simulates with seed engine.DeriveGridSeed(root,
+// run, cell) and ID space engine.IDBase(flat grid index). Seeds depend
+// only on (root, run, cell) — never on the variant list — so variant A
+// and variant B of replicate run face the same stochastic world (common
+// random numbers), and adding a variant to a sweep never changes any
+// other variant's numbers. Same root seed + same definition ⇒ the same
+// Result — and byte-identical report — at any Parallelism.
+//
+// # Statistics
+//
+// Each grid point reduces to one scalar metric vector: the streaming
+// reducers' per-cell scalars (streaming.Scalars) averaged over the eight
+// 2019 cells, plus scheduler preemption/OOM counters summed over them.
+// The 2011 cell simulates for era context but stays out of the averages.
+// Across the N replicates of a variant, every metric gets a
+// stats.CrossRun: mean, sample stddev, min/max, and the 95% Student-t
+// confidence half-width.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/analysis/streaming"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Variant is one named profile overlay: Apply mutates the freshly built
+// cell profiles of a grid point (arrival-rate multipliers, machine-count
+// scaling, tier-mix shifts, overcommit or admission-ceiling settings, …)
+// before simulation. A nil Apply is the identity (baseline) variant.
+type Variant struct {
+	Name  string
+	Apply func(*workload.CellProfile)
+}
+
+// Def defines a sweep.
+type Def struct {
+	// Scale is the base suite scale (machine counts, horizon, warmup);
+	// Scale.Seed is the sweep's root seed. Scale.Parallelism is ignored —
+	// the sweep schedules the whole grid through one pool, see
+	// Parallelism below.
+	Scale experiments.Scale
+	// Seeds is the number of root-seed replicates (N ≥ 1).
+	Seeds int
+	// Variants are the profile overlays to compare; empty means just the
+	// baseline.
+	Variants []Variant
+	// Parallelism bounds the engine worker pool across the entire grid;
+	// <= 0 means GOMAXPROCS. It never changes the result.
+	Parallelism int
+}
+
+// VariantStats is one variant's cross-seed outcome.
+type VariantStats struct {
+	Name string
+	// PerSeed[r][m] is metric m of replicate run r.
+	PerSeed [][]float64
+	// Stats[m] summarizes metric m across the replicates.
+	Stats []stats.CrossRun
+}
+
+// Result is a finished sweep: the definition it ran, the metric-vector
+// names, and per-variant cross-seed statistics. All rendering
+// (WriteReport, Table, WriteCSVs) is a pure function of this value.
+type Result struct {
+	Def      Def
+	Metrics  []string
+	Cells    int // suite cells simulated per grid point
+	Variants []VariantStats
+}
+
+// MetricNames returns the sweep metric vector's names in order: the
+// streaming per-cell scalars (averaged over the 2019 cells), then the
+// scheduler activity counters (summed over them).
+func MetricNames() []string {
+	return append(streaming.ScalarNames(), "preemptions", "oom_evictions")
+}
+
+// Run expands the sweep's seed × variant × cell grid, simulates every
+// point through the engine with per-spec streaming reducers (NoMemTrace;
+// no trace is ever retained), and aggregates cross-seed statistics.
+func Run(d Def) (*Result, error) {
+	if d.Seeds <= 0 {
+		return nil, fmt.Errorf("sweep: Seeds must be >= 1, got %d", d.Seeds)
+	}
+	variants := d.Variants
+	if len(variants) == 0 {
+		variants = []Variant{Baseline()}
+	}
+	names := make(map[string]bool, len(variants))
+	for i, v := range variants {
+		if v.Name == "" {
+			return nil, fmt.Errorf("sweep: variant %d has no name", i)
+		}
+		if names[v.Name] {
+			return nil, fmt.Errorf("sweep: duplicate variant %q — report rows and CSV keys would be ambiguous", v.Name)
+		}
+		names[v.Name] = true
+	}
+
+	cells := len(experiments.SuiteProfiles(d.Scale))
+	specs := make([]engine.Spec, 0, d.Seeds*len(variants)*cells)
+	reducers := make([]*streaming.CellReducer, 0, cap(specs))
+	base := core.Options{Horizon: d.Scale.Horizon, NoMemTrace: true}
+	flat := 0
+	for run := 0; run < d.Seeds; run++ {
+		for _, v := range variants {
+			for c, p := range experiments.SuiteProfiles(d.Scale) {
+				if v.Apply != nil {
+					v.Apply(p)
+				}
+				spec := engine.NewGridSpec(run, c, flat, p, base, d.Scale.Seed)
+				red := experiments.NewCellReducerFor(spec)
+				spec.Options.ExtraSinks = append(spec.Options.ExtraSinks, red)
+				specs = append(specs, spec)
+				reducers = append(reducers, red)
+				flat++
+			}
+		}
+	}
+
+	results := engine.Run(specs, engine.Options{Parallelism: d.Parallelism})
+
+	res := &Result{Def: d, Metrics: MetricNames(), Cells: cells}
+	res.Def.Variants = variants
+	for vi, v := range variants {
+		vs := VariantStats{Name: v.Name}
+		for run := 0; run < d.Seeds; run++ {
+			lo := (run*len(variants) + vi) * cells
+			vs.PerSeed = append(vs.PerSeed, pointMetrics(
+				reducers[lo:lo+cells], results[lo:lo+cells], d.Scale))
+		}
+		vs.Stats = make([]stats.CrossRun, len(res.Metrics))
+		for m := range res.Metrics {
+			xs := make([]float64, d.Seeds)
+			for run := 0; run < d.Seeds; run++ {
+				xs[run] = vs.PerSeed[run][m]
+			}
+			vs.Stats[m] = stats.SummarizeRuns(xs)
+		}
+		res.Variants = append(res.Variants, vs)
+	}
+	return res, nil
+}
+
+// pointMetrics reduces one grid point's suite (nine reducers + nine cell
+// results) to the sweep metric vector: reducer scalars averaged over the
+// 2019 cells, scheduler counters summed over them.
+func pointMetrics(reds []*streaming.CellReducer, results []*core.CellResult, sc experiments.Scale) []float64 {
+	scalars := len(streaming.ScalarNames())
+	vec := make([]float64, scalars+2)
+	n2019 := 0
+	for i, r := range reds {
+		if r.Meta().Era != trace.Era2019 {
+			continue
+		}
+		n2019++
+		for m, s := range r.Scalars(sc.Warmup) {
+			vec[m] += s.Value
+		}
+		vec[scalars] += float64(results[i].Sched.Preemptions)
+		vec[scalars+1] += float64(results[i].Sched.OOMEvictions)
+	}
+	if n2019 > 0 {
+		for m := 0; m < scalars; m++ {
+			vec[m] /= float64(n2019)
+		}
+	}
+	return vec
+}

@@ -1,0 +1,232 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tinyScale keeps sweep tests fast: full nine-cell suites, small cells,
+// short horizon.
+func tinyScale() experiments.Scale {
+	return experiments.Scale{Name: "tiny", Machines2011: 40, Machines2019: 30,
+		Horizon: 3 * sim.Hour, Warmup: 1 * sim.Hour, Seed: 5}
+}
+
+func tinyDef(par int) Def {
+	return Def{
+		Scale:       tinyScale(),
+		Seeds:       2,
+		Variants:    []Variant{Baseline(), ArrivalScale(1.5)},
+		Parallelism: par,
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism is the sweep's acceptance
+// gate: parallelism 1 and 8 must produce deeply equal results and
+// byte-identical report renderings.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	serial, err := Run(tinyDef(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(tinyDef(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Variants, parallel.Variants) {
+		t.Fatal("sweep results differ between parallelism 1 and 8")
+	}
+
+	var a, b bytes.Buffer
+	if err := serial.WriteReport(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("sweep report bytes differ between parallelism 1 and 8")
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty sweep report")
+	}
+	for _, name := range serial.Metrics {
+		if !strings.Contains(a.String(), "== metric "+name+" ==") {
+			t.Fatalf("report is missing the %s metric table", name)
+		}
+	}
+}
+
+// TestSweepSeedsProduceVariance proves the replicate seeds actually
+// perturb the simulation: per-seed metric vectors differ and at least
+// the rate metrics show nonzero cross-seed spread.
+func TestSweepSeedsProduceVariance(t *testing.T) {
+	res, err := Run(Def{Scale: tinyScale(), Seeds: 3, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Variants[0]
+	if reflect.DeepEqual(v.PerSeed[0], v.PerSeed[1]) {
+		t.Fatal("replicate seeds 0 and 1 produced identical metric vectors")
+	}
+	varying := 0
+	for m, st := range v.Stats {
+		if st.N != 3 {
+			t.Fatalf("metric %s: n=%d, want 3", res.Metrics[m], st.N)
+		}
+		if st.Stddev > 0 {
+			varying++
+			if st.CI95 <= 0 {
+				t.Fatalf("metric %s: stddev %g but CI95 %g", res.Metrics[m], st.Stddev, st.CI95)
+			}
+		}
+		if st.Min > st.Mean || st.Mean > st.Max {
+			t.Fatalf("metric %s: min/mean/max out of order: %+v", res.Metrics[m], st)
+		}
+	}
+	if varying < len(res.Metrics)/2 {
+		t.Fatalf("only %d/%d metrics vary across seeds", varying, len(res.Metrics))
+	}
+}
+
+// TestVariantListDoesNotPerturbSharedVariants pins the common-random-
+// numbers contract: a variant's per-seed numbers are identical whether
+// it runs alone or alongside other variants, because grid seeds depend
+// only on (root, run, cell).
+func TestVariantListDoesNotPerturbSharedVariants(t *testing.T) {
+	alone, err := Run(Def{Scale: tinyScale(), Seeds: 2, Parallelism: 8,
+		Variants: []Variant{Baseline()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paired, err := Run(Def{Scale: tinyScale(), Seeds: 2, Parallelism: 8,
+		Variants: []Variant{ArrivalScale(2), Baseline()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := paired.Variants[1]
+	if got.Name != "baseline" {
+		t.Fatalf("variant order: got %q", got.Name)
+	}
+	if !reflect.DeepEqual(alone.Variants[0].PerSeed, got.PerSeed) {
+		t.Fatal("baseline numbers changed when another variant joined the sweep")
+	}
+}
+
+func TestRunRejectsBadDefs(t *testing.T) {
+	if _, err := Run(Def{Scale: tinyScale(), Seeds: 0}); err == nil {
+		t.Fatal("Seeds 0 accepted")
+	}
+	if _, err := Run(Def{Scale: tinyScale(), Seeds: 1,
+		Variants: []Variant{Baseline(), Baseline()}}); err == nil {
+		t.Fatal("duplicate variant names accepted")
+	}
+	if _, err := Run(Def{Scale: tinyScale(), Seeds: 1,
+		Variants: []Variant{{Name: ""}}}); err == nil {
+		t.Fatal("unnamed variant accepted")
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	vs, err := ParseVariants("arrival:0.5,1.0,2.0;overcommit:1.25;baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Name)
+	}
+	want := []string{"arrival:0.5", "arrival:1", "arrival:2", "overcommit:1.25", "baseline"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("parsed %v, want %v", names, want)
+	}
+	if vs[0].Apply == nil || vs[4].Apply != nil {
+		t.Fatal("arrival variant must have an overlay; baseline must not")
+	}
+	for _, bad := range []string{"bogus:1", "arrival:zero", "arrival:-1", "arrival"} {
+		if _, err := ParseVariants(bad); err == nil {
+			t.Fatalf("ParseVariants(%q) accepted", bad)
+		}
+	}
+	if vs, err := ParseVariants(""); err != nil || len(vs) != 1 || vs[0].Name != "baseline" {
+		t.Fatalf("empty spec: %v, %v", vs, err)
+	}
+}
+
+func TestVariantOverlaysMutateKnobs(t *testing.T) {
+	p := workload.Profile2019("a", 100)
+	baseRate, baseMachines := p.JobsPerHour, p.Machines
+	baseOC := p.Overcommit.CPUFactor
+	ArrivalScale(0.5).Apply(p)
+	MachineScale(2).Apply(p)
+	OvercommitScale(1.5).Apply(p)
+	AllocCeiling(0.42).Apply(p)
+	if p.JobsPerHour != baseRate*0.5 || p.Machines != baseMachines*2 {
+		t.Fatalf("arrival/machines overlays: %g, %d", p.JobsPerHour, p.Machines)
+	}
+	if p.Overcommit.CPUFactor != baseOC*1.5 || p.BatchAllocCeiling != 0.42 {
+		t.Fatalf("overcommit/ceiling overlays: %+v, %g", p.Overcommit, p.BatchAllocCeiling)
+	}
+
+	ProdShift(2).Apply(p)
+	sum := 0.0
+	for _, tier := range p.Tiers {
+		sum += tier.ArrivalShare
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("prodshift left arrival shares summing to %g", sum)
+	}
+}
+
+// TestSweepCSVs checks the per-metric and summary CSV exports exist,
+// carry the long-form rows, and are byte-deterministic.
+func TestSweepCSVs(t *testing.T) {
+	res, err := Run(Def{Scale: tinyScale(), Seeds: 2, Parallelism: 8,
+		Variants: []Variant{Baseline(), ArrivalScale(1.5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(dir string) map[string][]byte {
+		t.Helper()
+		if err := res.WriteCSVs(dir); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]byte)
+		for _, name := range append([]string{"summary"}, res.Metrics...) {
+			b, err := os.ReadFile(filepath.Join(dir, name+".csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b) == 0 {
+				t.Fatalf("%s.csv is empty", name)
+			}
+			out[name] = b
+		}
+		return out
+	}
+	first := read(filepath.Join(t.TempDir(), "a"))
+	second := read(filepath.Join(t.TempDir(), "b"))
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("CSV exports are not deterministic")
+	}
+
+	lines := strings.Split(strings.TrimSpace(string(first["cpu_util"])), "\n")
+	if lines[0] != "variant,seed,cpu_util" {
+		t.Fatalf("metric CSV header %q", lines[0])
+	}
+	// header + (variants × seeds) rows
+	if want := 1 + 2*2; len(lines) != want {
+		t.Fatalf("cpu_util.csv has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(string(first["summary"]), "variant,metric,mean,stddev,min,max,ci95,n") {
+		t.Fatalf("summary header: %q", strings.SplitN(string(first["summary"]), "\n", 2)[0])
+	}
+}

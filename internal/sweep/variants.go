@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Baseline returns the identity variant: profiles simulate exactly as
+// the experiments suite builds them.
+func Baseline() Variant { return Variant{Name: "baseline"} }
+
+// ArrivalScale returns a variant multiplying every cell's job arrival
+// rate by f (load sensitivity).
+func ArrivalScale(f float64) Variant {
+	return Variant{
+		Name:  "arrival:" + ftoa(f),
+		Apply: func(p *workload.CellProfile) { p.JobsPerHour *= f },
+	}
+}
+
+// MachineScale returns a variant multiplying every cell's machine count
+// by f, rounded, never below one machine (capacity sensitivity).
+func MachineScale(f float64) Variant {
+	return Variant{
+		Name: "machines:" + ftoa(f),
+		Apply: func(p *workload.CellProfile) {
+			m := int(math.Round(float64(p.Machines) * f))
+			if m < 1 {
+				m = 1
+			}
+			p.Machines = m
+		},
+	}
+}
+
+// OvercommitScale returns a variant multiplying both overcommit factors
+// by f (§4's allocation-ceiling sensitivity).
+func OvercommitScale(f float64) Variant {
+	return Variant{
+		Name: "overcommit:" + ftoa(f),
+		Apply: func(p *workload.CellProfile) {
+			p.Overcommit.CPUFactor *= f
+			p.Overcommit.MemFactor *= f
+		},
+	}
+}
+
+// AllocCeiling returns a variant pinning the batch admission
+// controller's best-effort-batch CPU ceiling to the absolute fraction v.
+func AllocCeiling(v float64) Variant {
+	return Variant{
+		Name:  "allocceiling:" + ftoa(v),
+		Apply: func(p *workload.CellProfile) { p.BatchAllocCeiling = v },
+	}
+}
+
+// ProdShift returns a variant multiplying the production tier's arrival
+// share by f and renormalizing the tier mix to sum to one (tier-mix
+// sensitivity: cell a versus cell b is exactly such a shift).
+func ProdShift(f float64) Variant {
+	return Variant{
+		Name: "prodshift:" + ftoa(f),
+		Apply: func(p *workload.CellProfile) {
+			total := 0.0
+			for i := range p.Tiers {
+				if p.Tiers[i].Tier == trace.TierProduction {
+					p.Tiers[i].ArrivalShare *= f
+				}
+				total += p.Tiers[i].ArrivalShare
+			}
+			if total <= 0 {
+				return
+			}
+			for i := range p.Tiers {
+				p.Tiers[i].ArrivalShare /= total
+			}
+		},
+	}
+}
+
+// families maps a ParseVariants family keyword to its constructor.
+var families = map[string]func(float64) Variant{
+	"arrival":      ArrivalScale,
+	"machines":     MachineScale,
+	"overcommit":   OvercommitScale,
+	"allocceiling": AllocCeiling,
+	"prodshift":    ProdShift,
+}
+
+// ParseVariants parses a CLI sweep specification: semicolon-separated
+// clauses, each either "baseline" or "family:v1,v2,..." expanding to one
+// variant per value, in order. Families: arrival, machines, overcommit
+// (multipliers), allocceiling (absolute fraction), prodshift
+// (production-share multiplier). Example:
+//
+//	arrival:0.5,1.0,2.0;overcommit:1.25
+//
+// expands to four variants. An empty spec yields just the baseline.
+func ParseVariants(spec string) ([]Variant, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return []Variant{Baseline()}, nil
+	}
+	var out []Variant
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if clause == "baseline" {
+			out = append(out, Baseline())
+			continue
+		}
+		family, values, ok := strings.Cut(clause, ":")
+		mk := families[strings.TrimSpace(family)]
+		if !ok || mk == nil {
+			return nil, fmt.Errorf("sweep: unknown variant clause %q (families: arrival, machines, overcommit, allocceiling, prodshift, baseline)", clause)
+		}
+		for _, vs := range strings.Split(values, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad value %q in clause %q", vs, clause)
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("sweep: value %g in clause %q must be positive", v, clause)
+			}
+			out = append(out, mk(v))
+		}
+	}
+	if len(out) == 0 {
+		return []Variant{Baseline()}, nil
+	}
+	return out, nil
+}
+
+// ftoa formats a variant parameter so the name round-trips exactly.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -110,6 +110,11 @@ type CellProfile struct {
 	SchedServiceSigma  float64
 	// BatchQueue enables the batch scheduler front-end.
 	BatchQueue bool
+	// BatchAllocCeiling overrides the batch admission controller's
+	// best-effort-batch CPU allocation ceiling (fraction of cell
+	// capacity); 0 means the default (0.85). Parameter sweeps use it to
+	// probe admission-pressure sensitivity.
+	BatchAllocCeiling float64
 	// UsageNoiseSigma is the per-window lognormal usage noise.
 	UsageNoiseSigma float64
 	// MemUnderProvisionProb is the chance a task's memory limit sits
