@@ -24,7 +24,11 @@
 // Usage:
 //
 //	borgexperiments [-scale small|default|large] [-seed N] [-parallel N]
-//	                [-stream] [-export DIR] [-o report.txt]
+//	                [-policy NAME] [-stream] [-export DIR] [-o report.txt]
+//
+// -policy overrides every cell's placement policy (see the scheduler
+// policy zoo: random-fit, best-fit, least-allocated, worst-fit, oversub,
+// one-shot); by default each cell keeps its era's calibrated policy.
 package main
 
 import (
@@ -34,9 +38,11 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scheduler"
 )
 
 func main() {
@@ -45,6 +51,8 @@ func main() {
 	scaleName := flag.String("scale", "default", "simulation scale: small, default or large")
 	seed := flag.Uint64("seed", 1, "root random seed")
 	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
+	policy := flag.String("policy", "", "override every cell's placement policy ("+
+		strings.Join(scheduler.PolicyNames(), ", ")+"); empty keeps era defaults")
 	stream := flag.Bool("stream", false, "run with NoMemTrace: fold rows through streaming reducers instead of retaining traces (same report bytes)")
 	export := flag.String("export", "", "write per-cell CSV trace shards to this directory while simulating (implies -stream)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
@@ -63,6 +71,12 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *parallel
+	if *policy != "" {
+		if _, err := scheduler.ParsePolicy(*policy); err != nil {
+			log.Fatal(err)
+		}
+		sc.Policy = *policy
+	}
 	if *export != "" {
 		*stream = true
 	}

@@ -9,17 +9,30 @@
 // same root seed and definition produce byte-identical reports at any
 // -parallel setting — and grid seeds depend only on (seed, replicate,
 // cell), so every variant faces the same simulated worlds (common random
-// numbers; see internal/sweep).
+// numbers; see internal/sweep). That seeding discipline is what the
+// paired-difference section at the end of the report exploits: each
+// non-baseline variant's metrics are differenced against the baseline
+// replicate by replicate, and the paired Student-t 95% interval on the
+// difference is printed next to the Welch unpaired interval it beats
+// (also exported as paired_diffs.csv with -csv).
 //
 // Usage:
 //
 //	borgsweep [-scale small|default|large] [-seed N] [-seeds N]
 //	          [-variants SPEC] [-parallel N] [-o report.txt] [-csv DIR]
 //
-// where SPEC is semicolon-separated variant families, e.g.
+// where SPEC is semicolon-separated clauses: "baseline", a numeric
+// family "family:v1,v2,..." (arrival, machines, overcommit,
+// allocceiling, prodshift), the placement-policy family
+// "policy:name1,name2,..." (random-fit, best-fit, least-allocated,
+// worst-fit, oversub, one-shot — the scheduler policy zoo), or a named
+// composite "name:knob=value,..." where knob is any family or policy.
+// Examples:
 //
 //	borgsweep -scale small -seeds 5 -variants arrival:0.5,1.0,2.0
 //	borgsweep -seeds 3 -variants "overcommit:0.8,1.25;allocceiling:0.5;baseline"
+//	borgsweep -seeds 5 -variants "baseline;policy:best-fit,worst-fit"
+//	borgsweep -seeds 5 -variants "baseline;zoo-hot:policy=oversub,arrival=1.5"
 package main
 
 import (
@@ -42,7 +55,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "sweep root seed")
 	seeds := flag.Int("seeds", 5, "number of root-seed replicates per variant")
 	variantSpec := flag.String("variants", "baseline",
-		"variant spec: semicolon-separated families (arrival, machines, overcommit, allocceiling, prodshift, baseline), e.g. arrival:0.5,1.0,2.0")
+		"variant spec: semicolon-separated clauses — numeric families (arrival, machines, overcommit, allocceiling, prodshift), "+
+			"placement policies (policy:best-fit,...; see scheduler zoo), named composites (name:policy=oversub,arrival=1.5) or baseline")
 	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
 	out := flag.String("o", "", "write the sweep report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "export per-metric and summary CSVs to this directory")
@@ -99,6 +113,6 @@ func main() {
 		if err := res.WriteCSVs(*csvDir); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("wrote %d metric CSVs + summary.csv under %s", len(res.Metrics), *csvDir)
+		log.Printf("wrote %d metric CSVs + summary.csv + paired_diffs.csv under %s", len(res.Metrics), *csvDir)
 	}
 }

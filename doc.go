@@ -20,7 +20,14 @@
 //   - internal/cluster, internal/scheduler, internal/autopilot,
 //     internal/workload — the simulated cell: machines, the Borg
 //     scheduler (placement, preemption, batch queue), the vertical
-//     autoscaler, and the per-cell workload generator.
+//     autoscaler, and the per-cell workload generator. Placement
+//     behavior is pluggable: a scheduler.Policy bundles candidate
+//     scoring, preemption-plan preference, failure handling and
+//     (optionally) pending-queue order, and a registered zoo of
+//     policies — random-fit, best-fit, least-allocated (the default),
+//     worst-fit, an oversubscription-aware scorer, and a no-retry
+//     one-shot — swaps in by name (scheduler.ParsePolicy) through
+//     core.Options, experiments.Scale, and sweep variants.
 //   - internal/trace — the 2019-schema data model and the streaming sink
 //     pipeline: rows flow through composable trace.Sink implementations
 //     (FanOut, BufferedSink batching, SyncSink for sinks shared across
@@ -60,7 +67,13 @@
 // generation counter bumped on every place/remove/limit/usage mutation.
 // Resident records and kernel callbacks are pooled, so steady-state
 // placement performs zero heap allocations (guarded by an
-// AllocsPerRun test in CI). The caches are pure memoization under a hard
+// AllocsPerRun test in CI). The policy layer sits on top of this
+// machinery without weakening it: policies are stateless singletons
+// whose Score is a pure function of generation-covered machine state
+// and class-covered request shape, so the per-class score cache, the
+// candidate RNG draw sequence, and the zero-alloc guarantee hold for
+// every policy in the zoo (guarded per policy by AllocsPerRun and a
+// per-policy benchmark gate). The caches are pure memoization under a hard
 // determinism constraint: every cached value is bit-identical to
 // recomputation and the candidate RNG draw sequence is unchanged by
 // caching, so for a given build the same seed yields byte-identical
@@ -95,7 +108,9 @@
 // sweep is N root-seed replicates × M named profile variants (overlays
 // mutating workload.CellProfile knobs: arrival-rate multipliers,
 // machine-count scaling, tier-mix shifts, overcommit and
-// admission-ceiling settings), each grid point simulating the full
+// admission-ceiling settings, and placement policies from the
+// scheduler zoo — same clusters, same arrivals, different brains),
+// each grid point simulating the full
 // nine-cell suite with one streaming reducer per cell and NoMemTrace —
 // wide sweeps cost reducer state, never retained traces. Grid seeds
 // follow engine.DeriveGridSeed(root, run, cell): they depend only on the
@@ -106,9 +121,15 @@
 // plus scheduler counters); across replicates every variant × metric
 // gets a stats.CrossRun — mean, sample stddev, min/max and a 95%
 // Student-t confidence interval — rendered as a variant × metric report
-// and per-metric CSVs. cmd/borgsweep drives it:
+// and per-metric CSVs. Because replicates share seeds across variants,
+// the report closes with a paired-difference section (and
+// paired_diffs.csv): every non-baseline variant differenced against
+// the baseline replicate by replicate, with the paired Student-t 95%
+// half-width (stats.PairedDiff) printed beside the Welch unpaired
+// interval it beats. cmd/borgsweep drives it:
 //
-//	borgsweep -scale small -seeds 5 -variants arrival:0.5,1.0,2.0 -csv out/
+//	borgsweep -scale small -seeds 5 \
+//	  -variants 'baseline;arrival:0.5,2.0;policy:best-fit,oversub' -csv out/
 //
 // Same root seed + same definition ⇒ byte-identical sweep report at any
 // -parallel setting; CI smoke-tests exactly that.

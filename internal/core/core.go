@@ -53,6 +53,10 @@ type Options struct {
 	// DisableAutopilot turns vertical scaling off even for jobs marked
 	// as autoscaled (ablation support).
 	DisableAutopilot bool
+	// Policy, when non-empty, overrides the profile's placement policy by
+	// canonical name (see scheduler.ParsePolicy). Run panics on an unknown
+	// name, like it would on any other malformed static configuration.
+	Policy string
 }
 
 // CellResult is the outcome of one simulated cell.
@@ -105,8 +109,12 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	})
 
 	// Scheduler.
+	policy := p.Policy
+	if opts.Policy != "" {
+		policy = scheduler.MustParsePolicy(opts.Policy)
+	}
 	schedCfg := scheduler.Config{
-		Policy:                p.Policy,
+		Policy:                policy,
 		CandidateSample:       p.CandidateSample,
 		Overcommit:            p.Overcommit,
 		ServiceTime:           dist.LogNormalFromMedian(p.SchedServiceMedian, p.SchedServiceSigma),

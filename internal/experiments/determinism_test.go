@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/scheduler"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -50,5 +52,41 @@ func TestSuiteDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if serialReport.Len() == 0 {
 		t.Fatal("empty report")
+	}
+}
+
+// TestSuiteDeterministicPerPolicy runs the parallelism gate once per
+// registered placement policy at a tiny scale: every brain in the zoo
+// must keep the byte-identical determinism contract — identical event
+// streams at parallelism 1 and 8 — not just the era defaults.
+func TestSuiteDeterministicPerPolicy(t *testing.T) {
+	for _, p := range scheduler.Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			sc := Scale{Name: "tiny", Machines2011: 40, Machines2019: 30,
+				Horizon: 3 * sim.Hour, Warmup: sim.Hour, Seed: 11,
+				Policy: p.String()}
+			sc.Parallelism = 1
+			serial := RunSuite(sc)
+			sc.Parallelism = 8
+			parallel := RunSuite(sc)
+
+			check := func(cell string, a, b *trace.MemTrace) {
+				t.Helper()
+				if !reflect.DeepEqual(a.CollectionEvents, b.CollectionEvents) ||
+					!reflect.DeepEqual(a.InstanceEvents, b.InstanceEvents) ||
+					!reflect.DeepEqual(a.UsageRecords, b.UsageRecords) ||
+					!reflect.DeepEqual(a.MachineEvents, b.MachineEvents) {
+					t.Fatalf("cell %s: event streams differ between parallelism 1 and 8", cell)
+				}
+			}
+			check("2011", serial.T2011, parallel.T2011)
+			for i := range serial.T2019 {
+				check(serial.T2019[i].Meta.Cell, serial.T2019[i], parallel.T2019[i])
+			}
+			if serial.Stats[1].Sched.TasksPlaced == 0 {
+				t.Fatalf("policy %v: degenerate run, no tasks placed", p)
+			}
+		})
 	}
 }

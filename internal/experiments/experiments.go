@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/report"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -43,6 +44,11 @@ type Scale struct {
 	// worker pool); <= 0 means GOMAXPROCS. Output is identical at every
 	// setting — per-cell seeds derive from Seed via engine.DeriveSeed.
 	Parallelism int
+	// Policy, when non-empty, overrides every cell profile's placement
+	// policy by canonical name (scheduler.ParsePolicy); empty keeps each
+	// profile's era default (2011: random-fit, 2019: least-allocated).
+	// SuiteProfiles panics on an unknown name.
+	Policy string
 }
 
 // SmallScale is quick enough for tests and benchmarks.
@@ -83,6 +89,12 @@ func SuiteProfiles(sc Scale) []*workload.CellProfile {
 	profiles = append(profiles, workload.Profile2011(sc.Machines2011))
 	for _, cell := range workload.Cells2019() {
 		profiles = append(profiles, workload.Profile2019(cell, sc.Machines2019))
+	}
+	if sc.Policy != "" {
+		policy := scheduler.MustParsePolicy(sc.Policy)
+		for _, p := range profiles {
+			p.Policy = policy
+		}
 	}
 	return profiles
 }

@@ -11,11 +11,19 @@ import (
 )
 
 // benchCell builds a cell of n unit machines, each pre-loaded with
-// residents residents of the given tier/priority, and a scheduler over it.
+// residents residents of the given tier/priority, and a scheduler over it
+// running the default (LeastAllocated) policy.
 func benchCell(n, residents int, tier trace.Tier, priority int, limit, usage trace.Resources, oc cluster.OvercommitPolicy) (*Scheduler, *cluster.Cell) {
+	return benchPolicyCell(LeastAllocated, n, residents, tier, priority, limit, usage, oc)
+}
+
+// benchPolicyCell is benchCell with an explicit placement policy, for
+// per-policy fast-path benchmarks and allocation guards.
+func benchPolicyCell(policy PlacementPolicy, n, residents int, tier trace.Tier, priority int, limit, usage trace.Resources, oc cluster.OvercommitPolicy) (*Scheduler, *cluster.Cell) {
 	cell := cluster.NewCell("bench")
 	k := sim.NewKernel()
 	cfg := DefaultConfig()
+	cfg.Policy = policy
 	cfg.Batch = nil
 	cfg.Overcommit = oc
 	cfg.ServiceTime = dist.Deterministic{Value: 0.001}
@@ -65,6 +73,32 @@ func BenchmarkPlacement(b *testing.B) {
 		}
 		cell.Place(m.ID, s.takeResident(t.Key, t.Request, t.Job.Priority, t.Job.Tier))
 		s.releaseResident(cell.Remove(m.ID, t.Key))
+	}
+}
+
+// BenchmarkPlacementPolicy measures the same steady-state placement
+// cycle as BenchmarkPlacement once per registered policy, so benchgate
+// can hold the whole zoo to the PR 3 fast path (0 allocs/op and
+// comparable per-placement cost through the score cache).
+func BenchmarkPlacementPolicy(b *testing.B) {
+	for _, p := range Policies() {
+		p := p
+		b.Run(p.String(), func(b *testing.B) {
+			s, cell := benchPolicyCell(p, 200, 12, trace.TierMid, 110,
+				trace.Resources{CPU: 0.03, Mem: 0.03}, trace.Resources{CPU: 0.02, Mem: 0.02},
+				cluster.OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.45})
+			t := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := s.pickMachine(t)
+				if m == nil {
+					b.Fatal("no feasible machine")
+				}
+				cell.Place(m.ID, s.takeResident(t.Key, t.Request, t.Job.Priority, t.Job.Tier))
+				s.releaseResident(cell.Remove(m.ID, t.Key))
+			}
+		})
 	}
 }
 

@@ -64,7 +64,7 @@ func TestScoreCacheMatchesRecompute(t *testing.T) {
 		class := s.classID(tt)
 		first := s.cachedScore(vm, tt, usage, class)
 		cached := s.cachedScore(vm, tt, usage, class)
-		want := s.score(vm, tt, usage)
+		want := s.policy.Score(vm, tt.Request, usage)
 		if first != want || cached != want {
 			t.Fatalf("step %d: cached score %v/%v, recomputed %v (machine %d gen %d)",
 				step, first, cached, want, vm.ID, vm.Gen())

@@ -28,6 +28,13 @@ func (s *Scheduler) attemptPlacement(t *Task, now sim.Time) {
 		m = s.tryPreemption(t)
 	}
 	if m == nil {
+		if !s.policy.RetryOnFailure() {
+			// A one-shot policy abandons the task instead of parking it
+			// for backoff: the cluster has room now or the work is dropped.
+			s.stats.PlacementGiveUps++
+			s.finishTask(t, trace.EventKill)
+			return
+		}
 		s.retryLater(t)
 		return
 	}
@@ -64,7 +71,7 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 		if usage.Mem+0.6*t.Request.Mem > m.Capacity.Mem {
 			continue
 		}
-		if s.cfg.Policy == RandomFit {
+		if s.policy.FirstFit() {
 			return m
 		}
 		if class == 0 {
@@ -78,10 +85,12 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 	return best
 }
 
-// cachedScore returns score(m, t) through the equivalence-class cache: a
-// slot whose class and machine generation both match is exact memoization
-// (see scoreSlot) and skips recomputation. The probe is a bare array
-// index — no hashing on the per-candidate path.
+// cachedScore returns the policy's Score(m, req, usage) through the
+// equivalence-class cache: a slot whose class and machine generation both
+// match is exact memoization (see scoreSlot) and skips recomputation —
+// valid because Policy.Score is contractually a pure function of state
+// covered by (class, m.Gen()). The probe is a bare array index — no
+// hashing on the per-candidate path.
 func (s *Scheduler) cachedScore(m *cluster.Machine, t *Task, usage trace.Resources, class uint32) float64 {
 	i := int(m.ID)
 	if i >= len(s.scoreSlots) {
@@ -95,37 +104,9 @@ func (s *Scheduler) cachedScore(m *cluster.Machine, t *Task, usage trace.Resourc
 		return slot.score
 	}
 	s.stats.ScoreCacheMisses++
-	sc := s.score(m, t, usage)
+	sc := s.policy.Score(m, t.Request, usage)
 	*slot = scoreSlot{class: class, gen: m.Gen(), score: sc}
 	return sc
-}
-
-// score ranks a feasible machine; lower is better. Both the allocation
-// position and the sampled usage contribute, so load spreading considers
-// actual consumption as well as promises. usage is the caller's already
-// sampled m.UsageTotal(), threaded through so one placement attempt reads
-// it exactly once per candidate.
-func (s *Scheduler) score(m *cluster.Machine, t *Task, usage trace.Resources) float64 {
-	alloc := m.Allocated()
-	capacity := m.Capacity
-	frac := 0.0
-	if capacity.CPU > 0 {
-		frac += (alloc.CPU+t.Request.CPU)/capacity.CPU + usage.CPU/capacity.CPU
-	}
-	if capacity.Mem > 0 {
-		frac += (alloc.Mem+t.Request.Mem)/capacity.Mem + usage.Mem/capacity.Mem
-	}
-	switch s.cfg.Policy {
-	case BestFit:
-		// Prefer the fullest machine that still fits: minimize remaining
-		// headroom, i.e. maximize the post-placement fraction.
-		return -frac
-	case LeastAllocated:
-		// Spread load: prefer the emptiest machine.
-		return frac
-	default:
-		return frac
-	}
 }
 
 // takeResident returns a Resident record for a placement, recycling one
@@ -221,6 +202,7 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 	type plan struct {
 		m       *cluster.Machine
 		victims []*Task
+		freed   trace.Resources
 	}
 	var best *plan
 	for i := 0; i < k; i++ {
@@ -257,8 +239,8 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 			}
 		}
 		if freed.CPU >= need.CPU && freed.Mem >= need.Mem && len(victims) > 0 {
-			if best == nil || len(victims) < len(best.victims) {
-				best = &plan{m: m, victims: victims}
+			if best == nil || s.policy.PreferPlan(len(victims), freed, len(best.victims), best.freed) {
+				best = &plan{m: m, victims: victims, freed: freed}
 			}
 		}
 	}

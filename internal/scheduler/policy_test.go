@@ -1,0 +1,294 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestPolicyNameRoundTrip covers every registered policy: String must
+// produce a canonical name (not the PlacementPolicy(%d) fallback),
+// ParsePolicy must invert it, and the registry implementation must carry
+// the matching tag — so adding a policy with a missing name, registry
+// entry or mismatched Kind fails here instead of misbehaving at runtime.
+func TestPolicyNameRoundTrip(t *testing.T) {
+	if len(Policies()) != int(numPolicies) {
+		t.Fatalf("Policies() returned %d tags, registry holds %d", len(Policies()), numPolicies)
+	}
+	seen := make(map[string]bool)
+	for _, p := range Policies() {
+		name := p.String()
+		if strings.HasPrefix(name, "PlacementPolicy(") {
+			t.Fatalf("policy %d has no canonical name", int(p))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate policy name %q", name)
+		}
+		seen[name] = true
+		parsed, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if parsed != p {
+			t.Fatalf("round trip %q: got %d, want %d", name, int(parsed), int(p))
+		}
+		if kind := PolicyFor(p).Kind(); kind != p {
+			t.Fatalf("registry entry for %q reports Kind %d", name, int(kind))
+		}
+	}
+	if MustParsePolicy("least-allocated") != LeastAllocated {
+		t.Fatal("MustParsePolicy mismatch")
+	}
+}
+
+// TestParsePolicyUnknown checks the unknown-name error names the typo and
+// lists every valid policy, so a misconfigured CLI flag or sweep clause
+// is self-explaining.
+func TestParsePolicyUnknown(t *testing.T) {
+	_, err := ParsePolicy("bestfit")
+	if err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bestfit"`) {
+		t.Fatalf("error does not name the bad input: %q", msg)
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error does not list valid policy %q: %q", name, msg)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MustParsePolicy did not panic on unknown name")
+			}
+		}()
+		MustParsePolicy("bestfit")
+	}()
+}
+
+// TestPolicyScoreMatchesLegacySwitch is the differential oracle for the
+// refactor: BestFit and LeastAllocated through the Policy interface must
+// reproduce the pre-refactor score() switch bit for bit across
+// randomized machine states, so same-seed traces cannot drift. (The
+// whole-trace version of this check ran against pre-refactor golden
+// traces when the interface was extracted; this keeps the scoring core
+// pinned.)
+func TestPolicyScoreMatchesLegacySwitch(t *testing.T) {
+	legacy := func(pol PlacementPolicy, m *cluster.Machine, req, usage trace.Resources) float64 {
+		alloc := m.Allocated()
+		capacity := m.Capacity
+		frac := 0.0
+		if capacity.CPU > 0 {
+			frac += (alloc.CPU+req.CPU)/capacity.CPU + usage.CPU/capacity.CPU
+		}
+		if capacity.Mem > 0 {
+			frac += (alloc.Mem+req.Mem)/capacity.Mem + usage.Mem/capacity.Mem
+		}
+		switch pol {
+		case BestFit:
+			return -frac
+		case LeastAllocated:
+			return frac
+		default:
+			return frac
+		}
+	}
+
+	src := rng.New(99)
+	cell := cluster.NewCell("oracle")
+	var ms []*cluster.Machine
+	for i := 0; i < 8; i++ {
+		shape := trace.Resources{CPU: 0.5 + src.Float64(), Mem: 0.5 + src.Float64()}
+		ms = append(ms, cell.AddMachine(shape, "P0"))
+	}
+	next := trace.CollectionID(1)
+	for step := 0; step < 2000; step++ {
+		m := ms[src.Intn(len(ms))]
+		key := trace.InstanceKey{Collection: next}
+		next++
+		cell.Place(m.ID, &cluster.Resident{
+			Key:   key,
+			Limit: trace.Resources{CPU: src.Float64() * 0.2, Mem: src.Float64() * 0.2},
+		})
+		m.SetUsage(key, trace.Resources{CPU: src.Float64() * 0.1, Mem: src.Float64() * 0.1})
+
+		req := trace.Resources{CPU: src.Float64() * 0.3, Mem: src.Float64() * 0.3}
+		vm := ms[src.Intn(len(ms))]
+		usage := vm.UsageTotal()
+		for _, pol := range []PlacementPolicy{BestFit, LeastAllocated} {
+			got := PolicyFor(pol).Score(vm, req, usage)
+			want := legacy(pol, vm, req, usage)
+			if got != want {
+				t.Fatalf("step %d: %v.Score = %v, legacy switch = %v", step, pol, got, want)
+			}
+		}
+	}
+}
+
+// TestWorstFitPrefersLargestHeadroom checks WorstFit's spreading: the
+// machine retaining the most absolute free capacity after placement must
+// score strictly lower (better).
+func TestWorstFitPrefersLargestHeadroom(t *testing.T) {
+	cell := cluster.NewCell("wf")
+	big := cell.AddMachine(trace.Resources{CPU: 4, Mem: 4}, "P0")
+	small := cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+	req := trace.Resources{CPU: 0.1, Mem: 0.1}
+	wf := PolicyFor(WorstFit)
+	if !(wf.Score(big, req, trace.Resources{}) < wf.Score(small, req, trace.Resources{})) {
+		t.Fatal("WorstFit does not prefer the machine with the most absolute headroom")
+	}
+	// LeastAllocated, by contrast, is fraction-normalized and ties here.
+	la := PolicyFor(LeastAllocated)
+	if la.Score(big, req, trace.Resources{}) >= la.Score(small, req, trace.Resources{}) {
+		t.Fatal("expected LeastAllocated to score the small empty machine no better")
+	}
+}
+
+// TestOversubPenalizesRiskyMachine checks the oversubscription-aware
+// scorer: between two machines with identical sampled usage, the one
+// whose post-placement allocation exceeds physical capacity must score
+// strictly worse, and the penalty must grow with how hot the machine
+// already runs.
+func TestOversubPenalizesRiskyMachine(t *testing.T) {
+	cell := cluster.NewCell("os")
+	risky := cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+	safe := cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+	// Overcommit lets allocation exceed capacity on the risky machine.
+	cell.Place(risky.ID, &cluster.Resident{
+		Key:   trace.InstanceKey{Collection: 1},
+		Limit: trace.Resources{CPU: 1.1, Mem: 1.1},
+	})
+	cell.Place(safe.ID, &cluster.Resident{
+		Key:   trace.InstanceKey{Collection: 2},
+		Limit: trace.Resources{CPU: 0.3, Mem: 0.3},
+	})
+	req := trace.Resources{CPU: 0.1, Mem: 0.1}
+	usage := trace.Resources{CPU: 0.2, Mem: 0.2}
+	os := PolicyFor(Oversub)
+	if !(os.Score(safe, req, usage) < os.Score(risky, req, usage)) {
+		t.Fatal("Oversub does not penalize the overcommitted machine")
+	}
+	cold := trace.Resources{CPU: 0.05, Mem: 0.05}
+	hot := trace.Resources{CPU: 0.9, Mem: 0.9}
+	coldRisk := os.Score(risky, req, cold) - os.Score(safe, req, cold)
+	hotRisk := os.Score(risky, req, hot) - os.Score(safe, req, hot)
+	if !(hotRisk > coldRisk) {
+		t.Fatalf("oversubscription penalty did not grow with heat: cold %v, hot %v", coldRisk, hotRisk)
+	}
+}
+
+// TestOneShotGivesUp checks the no-retry policy end to end: a task no
+// machine can host is abandoned (KILL, PlacementGiveUps) instead of
+// parked for backoff, while the same scenario under LeastAllocated
+// retries forever.
+func TestOneShotGivesUp(t *testing.T) {
+	build := func(policy PlacementPolicy) (*Scheduler, *sim.Kernel) {
+		cell := cluster.NewCell("oneshot")
+		cell.AddMachine(trace.Resources{CPU: 0.1, Mem: 0.1}, "P0")
+		k := sim.NewKernel()
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		cfg.Batch = nil
+		cfg.ServiceTime = dist.Deterministic{Value: 0.001}
+		return New(cfg, cell, k, trace.NopSink{}, rng.New(3)), k
+	}
+	submit := func(s *Scheduler, k *sim.Kernel) Stats {
+		j := NewJob(1)
+		j.Type = trace.CollectionJob
+		j.Priority = 120
+		j.Tier = trace.TierProduction
+		j.AddTask(&Task{Request: trace.Resources{CPU: 5, Mem: 5}, Duration: sim.Hour})
+		k.At(0, func(sim.Time) { s.Submit(j) })
+		k.RunUntil(2 * sim.Minute)
+		return s.Stats()
+	}
+
+	s, k := build(OneShot)
+	st := submit(s, k)
+	if st.PlacementGiveUps != 1 {
+		t.Fatalf("OneShot: PlacementGiveUps = %d, want 1", st.PlacementGiveUps)
+	}
+	if st.PlacementRetries != 0 {
+		t.Fatalf("OneShot: PlacementRetries = %d, want 0", st.PlacementRetries)
+	}
+	if job := s.Job(1); job.State != JobDone || job.FinalType != trace.EventKill {
+		t.Fatalf("OneShot: job state %v final %v, want done/KILL", job.State, job.FinalType)
+	}
+
+	s, k = build(LeastAllocated)
+	st = submit(s, k)
+	if st.PlacementGiveUps != 0 {
+		t.Fatalf("LeastAllocated: PlacementGiveUps = %d, want 0", st.PlacementGiveUps)
+	}
+	if st.PlacementRetries == 0 {
+		t.Fatal("LeastAllocated: expected backoff retries for the infeasible task")
+	}
+	if job := s.Job(1); job.State == JobDone {
+		t.Fatal("LeastAllocated: infeasible job should still be live (retrying)")
+	}
+}
+
+// TestQueueOrdererOverride checks the pending-queue hook: a policy-
+// supplied QueueLess replaces the default priority order, and ties under
+// the custom order still break FIFO by enqueue sequence.
+func TestQueueOrdererOverride(t *testing.T) {
+	mk := func(priority int, seq uint64) *Task {
+		tt := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, priority, trace.TierMid)
+		tt.enqueueSeq = seq
+		return tt
+	}
+	// Custom order: weakest priority first — the reverse of the default.
+	h := &taskHeap{less: func(a, b *Task) bool { return a.Job.Priority < b.Job.Priority }}
+	h.tasks = []*Task{mk(300, 0), mk(100, 2), mk(100, 1), mk(200, 3)}
+	if h.Less(1, 0) != true || h.Less(0, 1) != false {
+		t.Fatal("custom less not consulted")
+	}
+	// Equal priorities: index 2 enqueued before index 1.
+	if h.Less(2, 1) != true || h.Less(1, 2) != false {
+		t.Fatal("tie under custom less does not break by enqueue sequence")
+	}
+	// Default ordering (nil less): strongest priority first, then FIFO.
+	d := &taskHeap{tasks: []*Task{mk(100, 0), mk(300, 1), mk(300, 2)}}
+	if d.Less(0, 1) != false || d.Less(1, 0) != true {
+		t.Fatal("default order lost priority-descending")
+	}
+	if d.Less(1, 2) != true || d.Less(2, 1) != false {
+		t.Fatal("default order lost FIFO tie-break")
+	}
+}
+
+// TestPlacementZeroAllocsEveryPolicy extends the PR 3 allocation guard
+// across the zoo: the steady-state placement cycle must stay
+// allocation-free under every registered policy, scored or first-fit.
+func TestPlacementZeroAllocsEveryPolicy(t *testing.T) {
+	for _, p := range Policies() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			s, cell := benchPolicyCell(p, 64, 8, trace.TierMid, 110,
+				trace.Resources{CPU: 0.03, Mem: 0.03}, trace.Resources{CPU: 0.02, Mem: 0.02},
+				cluster.OvercommitPolicy{CPUFactor: 1.5, MemFactor: 1.45})
+			task := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction)
+			cycle := func() {
+				m := s.pickMachine(task)
+				if m == nil {
+					t.Fatal("no feasible machine")
+				}
+				cell.Place(m.ID, s.takeResident(task.Key, task.Request, task.Job.Priority, task.Job.Tier))
+				s.releaseResident(cell.Remove(m.ID, task.Key))
+			}
+			for i := 0; i < 100; i++ {
+				cycle()
+			}
+			if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+				t.Fatalf("policy %v: steady-state placement allocates %.1f allocs/op, want 0", p, avg)
+			}
+		})
+	}
+}

@@ -7,30 +7,45 @@ import (
 )
 
 // taskHeap orders pending tasks by (priority desc, enqueue sequence asc):
-// strongest tier first, FIFO within a priority. The enqueue sequence rather
-// than a timestamp breaks ties deterministically when bursts of tasks
-// arrive in the same simulation instant.
-type taskHeap []*Task
-
-func (h taskHeap) Len() int { return len(h) }
-
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].Job.Priority != h[j].Job.Priority {
-		return h[i].Job.Priority > h[j].Job.Priority
-	}
-	return h[i].enqueueSeq < h[j].enqueueSeq
+// strongest tier first, FIFO within a priority. A policy implementing
+// QueueOrderer substitutes its own primary ordering via less; ties under
+// either ordering break by enqueue sequence rather than a timestamp, so
+// bursts of tasks arriving in the same simulation instant still pop
+// deterministically.
+type taskHeap struct {
+	tasks []*Task
+	// less is the optional QueueOrderer hook; nil selects the default
+	// priority-descending order.
+	less func(a, b *Task) bool
 }
 
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Len() int { return len(h.tasks) }
 
-func (h *taskHeap) Push(x any) { *h = append(*h, x.(*Task)) }
+func (h *taskHeap) Less(i, j int) bool {
+	a, b := h.tasks[i], h.tasks[j]
+	if h.less != nil {
+		if h.less(a, b) {
+			return true
+		}
+		if h.less(b, a) {
+			return false
+		}
+	} else if a.Job.Priority != b.Job.Priority {
+		return a.Job.Priority > b.Job.Priority
+	}
+	return a.enqueueSeq < b.enqueueSeq
+}
+
+func (h *taskHeap) Swap(i, j int) { h.tasks[i], h.tasks[j] = h.tasks[j], h.tasks[i] }
+
+func (h *taskHeap) Push(x any) { h.tasks = append(h.tasks, x.(*Task)) }
 
 func (h *taskHeap) Pop() any {
-	old := *h
+	old := h.tasks
 	n := len(old)
 	t := old[n-1]
 	old[n-1] = nil
-	*h = old[:n-1]
+	h.tasks = old[:n-1]
 	return t
 }
 

@@ -21,32 +21,6 @@ import (
 	"repro/internal/trace"
 )
 
-// PlacementPolicy selects among feasible candidate machines.
-type PlacementPolicy int
-
-// Placement policies. The 2011 profile uses RandomFit (wide machine
-// utilization spread); the 2019 profile uses LeastAllocated load spreading,
-// which reproduces Figure 6's tighter utilization distribution.
-const (
-	RandomFit      PlacementPolicy = iota // first feasible candidate
-	BestFit                               // minimize leftover allocation headroom
-	LeastAllocated                        // spread: pick the emptiest candidate
-)
-
-// String names the policy.
-func (p PlacementPolicy) String() string {
-	switch p {
-	case RandomFit:
-		return "random-fit"
-	case BestFit:
-		return "best-fit"
-	case LeastAllocated:
-		return "least-allocated"
-	default:
-		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
-	}
-}
-
 // BatchConfig configures the batch scheduler front-end that queues
 // best-effort batch jobs until the cell can handle them (§3).
 type BatchConfig struct {
@@ -64,6 +38,8 @@ type BatchConfig struct {
 
 // Config parameterizes the scheduler.
 type Config struct {
+	// Policy names the placement brain; New resolves it through the policy
+	// registry (see policy.go for the zoo).
 	Policy PlacementPolicy
 	// CandidateSample is how many machines a placement attempt examines
 	// (power-of-k-choices sampling, as production schedulers do to bound
@@ -265,9 +241,13 @@ func (j *Job) AddTask(t *Task) {
 
 // Stats counts scheduler activity for logs and ablation benches.
 type Stats struct {
-	JobsSubmitted       int
-	TasksPlaced         int
-	PlacementRetries    int
+	JobsSubmitted    int
+	TasksPlaced      int
+	PlacementRetries int
+	// PlacementGiveUps counts tasks abandoned by a no-retry policy
+	// (Policy.RetryOnFailure() == false) after finding no feasible
+	// machine.
+	PlacementGiveUps    int
 	Preemptions         int
 	OOMEvictions        int // aggregate-overcommit evictions (EVICT)
 	OOMKills            int // over-own-limit kills (FAIL, §5.2's "fail")
@@ -349,6 +329,9 @@ type Scheduler struct {
 	k    *sim.Kernel
 	sink trace.Sink
 	src  *rng.Source
+	// policy is cfg.Policy resolved through the registry once at
+	// construction, so the placement hot path never re-resolves it.
+	policy Policy
 
 	pending taskHeap
 	busy    bool
@@ -410,6 +393,7 @@ func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rn
 		k:          k,
 		sink:       sink,
 		src:        src,
+		policy:     PolicyFor(cfg.Policy),
 		jobs:       make(map[trace.CollectionID]*Job),
 		children:   make(map[trace.CollectionID][]*Job),
 		allocs:     make(map[trace.CollectionID][]*AllocInstance),
@@ -417,6 +401,9 @@ func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rn
 		allocJobs:  make(map[trace.CollectionID][]*Job),
 		running:    make(map[trace.InstanceKey]*Task),
 		classIDs:   make(map[eqClass]uint32),
+	}
+	if qo, ok := s.policy.(QueueOrderer); ok {
+		s.pending.less = qo.QueueLess
 	}
 	if cfg.Batch != nil {
 		k.Every(cfg.Batch.CheckPeriod, cfg.Batch.CheckPeriod, 0, func(sim.Time) {

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PairedDiff summarizes the per-replicate differences ys[i] − xs[i] as a
+// CrossRun: mean difference, unbiased stddev of the differences, observed
+// range, and the 95% Student-t confidence half-width on the mean
+// difference (df = n−1, the paired-t interval).
+//
+// This is the right estimator for common-random-number experiments: when
+// replicate i of both arms shares seeds (the sweep grid's contract),
+// run-to-run noise is positively correlated across arms and cancels in
+// the difference, so the paired CI is typically far tighter than the
+// unpaired two-sample interval UnpairedDiffCI95 computes from the same
+// data.
+func PairedDiff(xs, ys []float64) (CrossRun, error) {
+	if len(xs) != len(ys) {
+		return CrossRun{}, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(xs), len(ys))
+	}
+	diffs := make([]float64, len(xs))
+	for i := range xs {
+		diffs[i] = ys[i] - xs[i]
+	}
+	return SummarizeRuns(diffs), nil
+}
+
+// UnpairedDiffCI95 returns the 95% confidence half-width on mean(ys) −
+// mean(xs) treating the two samples as independent: the Welch two-sample
+// interval, with degrees of freedom from the Welch–Satterthwaite
+// approximation (truncated to an integer for the t table, which can only
+// widen the interval). It is the counterfactual against which PairedDiff
+// demonstrates the CRN variance reduction — same data, no pairing
+// assumption, wider interval. Zero when either sample has fewer than two
+// values (no variance estimate exists).
+func UnpairedDiffCI95(xs, ys []float64) float64 {
+	if len(xs) < 2 || len(ys) < 2 {
+		return 0
+	}
+	sx := SummarizeRuns(xs)
+	sy := SummarizeRuns(ys)
+	vx := sx.Stddev * sx.Stddev / float64(len(xs))
+	vy := sy.Stddev * sy.Stddev / float64(len(ys))
+	se := math.Sqrt(vx + vy)
+	if se == 0 {
+		return 0
+	}
+	num := (vx + vy) * (vx + vy)
+	den := vx*vx/float64(len(xs)-1) + vy*vy/float64(len(ys)-1)
+	df := 1
+	if den > 0 {
+		if d := int(num / den); d > 1 {
+			df = d
+		}
+	}
+	return TCritical95(df) * se
+}

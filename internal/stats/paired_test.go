@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPairedDiffBasics(t *testing.T) {
+	xs := []float64{10, 12, 11, 13}
+	ys := []float64{11, 13.5, 11.5, 14}
+	d, err := PairedDiff(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// diffs = {1, 1.5, 0.5, 1}: mean 1, stddev sqrt(1/6).
+	if d.N != 4 || math.Abs(d.Mean-1) > 1e-12 {
+		t.Fatalf("mean diff: %+v", d)
+	}
+	if want := math.Sqrt(1.0 / 6.0); math.Abs(d.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev %g, want %g", d.Stddev, want)
+	}
+	if d.Min != 0.5 || d.Max != 1.5 {
+		t.Fatalf("range: %+v", d)
+	}
+	// Paired-t half-width: t_{0.975,3} * s / sqrt(4).
+	if want := TCritical95(3) * d.Stddev / 2; math.Abs(d.CI95-want) > 1e-12 {
+		t.Fatalf("CI95 %g, want %g", d.CI95, want)
+	}
+}
+
+func TestPairedDiffLengthMismatch(t *testing.T) {
+	_, err := PairedDiff([]float64{1, 2}, []float64{1})
+	if err == nil || !strings.Contains(err.Error(), "2 vs 1") {
+		t.Fatalf("length mismatch error: %v", err)
+	}
+}
+
+// TestPairedBeatsUnpairedUnderCRN builds the textbook CRN situation —
+// shared per-replicate noise plus a small constant treatment effect —
+// and checks the paired interval is strictly tighter than the Welch
+// unpaired interval on the same data.
+func TestPairedBeatsUnpairedUnderCRN(t *testing.T) {
+	// Large common noise (per-replicate "seed effect"), tiny constant shift.
+	noise := []float64{5, -3, 8, -6, 2, -4, 7, -1}
+	xs := make([]float64, len(noise))
+	ys := make([]float64, len(noise))
+	for i, w := range noise {
+		xs[i] = 100 + w
+		ys[i] = 100.25 + w
+	}
+	d, err := PairedDiff(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpaired := UnpairedDiffCI95(xs, ys)
+	if math.Abs(d.Mean-0.25) > 1e-12 {
+		t.Fatalf("mean diff %g, want 0.25", d.Mean)
+	}
+	// Perfectly correlated noise: paired CI is exactly 0 here, unpaired is
+	// dominated by the noise spread.
+	if d.CI95 >= unpaired {
+		t.Fatalf("paired CI95 %g not tighter than unpaired %g", d.CI95, unpaired)
+	}
+	if unpaired <= 0 {
+		t.Fatalf("unpaired CI95 %g, want > 0", unpaired)
+	}
+}
+
+func TestUnpairedDiffCI95Degenerate(t *testing.T) {
+	if ci := UnpairedDiffCI95([]float64{1}, []float64{2, 3}); ci != 0 {
+		t.Fatalf("n<2 sample: CI %g, want 0", ci)
+	}
+	if ci := UnpairedDiffCI95([]float64{1, 1}, []float64{2, 2}); ci != 0 {
+		t.Fatalf("zero-variance samples: CI %g, want 0", ci)
+	}
+	// Equal-variance balanced case: Welch df = 2n-2, se = s*sqrt(2/n).
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 3, 4, 5}
+	sx := SummarizeRuns(xs)
+	want := TCritical95(6) * sx.Stddev * math.Sqrt(2.0/4.0)
+	if got := UnpairedDiffCI95(xs, ys); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("balanced Welch CI %g, want %g", got, want)
+	}
+}

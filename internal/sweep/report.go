@@ -66,7 +66,43 @@ func (r *Result) WriteReport(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return r.writePairedSection(w)
+}
+
+// writePairedSection renders the paired-difference comparison: for every
+// non-baseline variant and metric, the per-replicate variant-minus-
+// baseline difference (mean, stddev, paired-t 95% half-width) next to the
+// Welch unpaired half-width on the same data. Because replicates share
+// grid seeds across variants (common random numbers), the paired
+// interval is the honest one — and its advantage over the unpaired
+// column is the variance reduction the seeding discipline buys. Omitted
+// when the sweep has a single variant (nothing to compare).
+func (r *Result) writePairedSection(w io.Writer) error {
+	if len(r.Variants) < 2 {
+		return nil
+	}
+	base := r.Variants[r.Baseline]
+	if _, err := fmt.Fprintf(w,
+		"\n== paired differences vs %q (per-replicate diffs under common random numbers) ==\n",
+		base.Name); err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, v := range r.Variants {
+		if v.Diffs == nil {
+			continue
+		}
+		for m, d := range v.Diffs {
+			rows = append(rows, []string{
+				v.Name, r.Metrics[m],
+				report.F(d.Mean), report.F(d.Stddev),
+				report.F(d.CI95), report.F(v.UnpairedCI95[m]),
+				strconv.Itoa(d.N),
+			})
+		}
+	}
+	return report.Table(w,
+		[]string{"variant", "metric", "diff mean", "diff stddev", "paired ci95±", "unpaired ci95±", "n"}, rows)
 }
 
 // Table materializes the sweep's per-seed measurements as a long-form
@@ -126,8 +162,33 @@ func (r *Result) WriteCSVs(dir string) error {
 			})
 		}
 	}
-	return writeCSVFile(filepath.Join(dir, "summary.csv"),
-		[]string{"variant", "metric", "mean", "stddev", "min", "max", "ci95", "n"}, rows)
+	if err := writeCSVFile(filepath.Join(dir, "summary.csv"),
+		[]string{"variant", "metric", "mean", "stddev", "min", "max", "ci95", "n"}, rows); err != nil {
+		return err
+	}
+
+	// paired_diffs.csv mirrors the report's paired-difference section:
+	// variant-minus-baseline per-replicate differences with both the
+	// paired and the unpaired 95% half-widths.
+	var diffRows [][]string
+	for _, v := range r.Variants {
+		if v.Diffs == nil {
+			continue
+		}
+		for m, d := range v.Diffs {
+			diffRows = append(diffRows, []string{
+				v.Name, r.Variants[r.Baseline].Name, r.Metrics[m],
+				report.F(d.Mean), report.F(d.Stddev),
+				report.F(d.CI95), report.F(v.UnpairedCI95[m]),
+				strconv.Itoa(d.N),
+			})
+		}
+	}
+	if len(diffRows) == 0 {
+		return nil
+	}
+	return writeCSVFile(filepath.Join(dir, "paired_diffs.csv"),
+		[]string{"variant", "baseline", "metric", "diff_mean", "diff_stddev", "paired_ci95", "unpaired_ci95", "n"}, diffRows)
 }
 
 // writeCSVFile writes one CSV through the report codec.

@@ -75,6 +75,17 @@ type VariantStats struct {
 	PerSeed [][]float64
 	// Stats[m] summarizes metric m across the replicates.
 	Stats []stats.CrossRun
+	// Diffs[m] summarizes the per-replicate paired difference of metric m
+	// against the sweep's baseline variant (this variant minus baseline,
+	// replicate by replicate). Because replicate r of every variant shares
+	// grid seeds (common random numbers), the paired Student-t CI on the
+	// difference is the statistically right — and typically much tighter —
+	// comparison. Nil for the baseline variant itself.
+	Diffs []stats.CrossRun
+	// UnpairedCI95[m] is the Welch two-sample 95% half-width on the same
+	// mean difference, ignoring the pairing — the counterfactual interval
+	// the CRN discipline beats. Nil exactly when Diffs is.
+	UnpairedCI95 []float64
 }
 
 // Result is a finished sweep: the definition it ran, the metric-vector
@@ -85,6 +96,10 @@ type Result struct {
 	Metrics  []string
 	Cells    int // suite cells simulated per grid point
 	Variants []VariantStats
+	// Baseline indexes the comparison anchor in Variants for the paired
+	// differences: the first variant named "baseline" when present,
+	// otherwise the first variant.
+	Baseline int
 }
 
 // MetricNames returns the sweep metric vector's names in order: the
@@ -157,6 +172,40 @@ func Run(d Def) (*Result, error) {
 			vs.Stats[m] = stats.SummarizeRuns(xs)
 		}
 		res.Variants = append(res.Variants, vs)
+	}
+
+	// Paired differences against the baseline anchor: replicate r of every
+	// variant shares seeds (see the grid contract), so the per-replicate
+	// difference cancels common noise and its paired-t CI is the right
+	// comparison interval.
+	for i, v := range variants {
+		if v.Name == "baseline" {
+			res.Baseline = i
+			break
+		}
+	}
+	anchor := &res.Variants[res.Baseline]
+	for vi := range res.Variants {
+		if vi == res.Baseline {
+			continue
+		}
+		vs := &res.Variants[vi]
+		vs.Diffs = make([]stats.CrossRun, len(res.Metrics))
+		vs.UnpairedCI95 = make([]float64, len(res.Metrics))
+		for m := range res.Metrics {
+			xs := make([]float64, d.Seeds)
+			ys := make([]float64, d.Seeds)
+			for run := 0; run < d.Seeds; run++ {
+				xs[run] = anchor.PerSeed[run][m]
+				ys[run] = vs.PerSeed[run][m]
+			}
+			diff, err := stats.PairedDiff(xs, ys)
+			if err != nil {
+				return nil, err
+			}
+			vs.Diffs[m] = diff
+			vs.UnpairedCI95[m] = stats.UnpairedDiffCI95(xs, ys)
+		}
 	}
 	return res, nil
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -119,6 +121,89 @@ func TestVariantListDoesNotPerturbSharedVariants(t *testing.T) {
 	if !reflect.DeepEqual(alone.Variants[0].PerSeed, got.PerSeed) {
 		t.Fatal("baseline numbers changed when another variant joined the sweep")
 	}
+
+	// The contract extends to policy variants: joining the sweep with a
+	// different scheduler brain must leave the baseline untouched too.
+	worstFit, err := PolicyVariant("worst-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoo, err := Run(Def{Scale: tinyScale(), Seeds: 2, Parallelism: 8,
+		Variants: []Variant{worstFit, Baseline()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alone.Variants[0].PerSeed, zoo.Variants[1].PerSeed) {
+		t.Fatal("baseline numbers changed when a policy variant joined the sweep")
+	}
+	if reflect.DeepEqual(zoo.Variants[0].PerSeed, zoo.Variants[1].PerSeed) {
+		t.Fatal("worst-fit produced numbers identical to baseline — policy overlay did not apply")
+	}
+}
+
+// TestPairedDiffsTighterThanUnpaired pins the sweep's statistical payoff:
+// under the grid's common-random-numbers seeding, the paired-t interval
+// on a variant-minus-baseline difference comes out tighter than the
+// Welch unpaired interval from the same replicates. The advantage is a
+// correlation effect, not an identity — a metric whose noise correlates
+// weakly across arms can tip the other way at tiny n, because the paired
+// t table (df = n−1) is harsher than Welch's (df up to 2n−2) — so the
+// test demands strict tightness on the headline utilization metrics
+// (strongly seed-correlated by construction) and majority tightness
+// overall, rather than a universal per-metric inequality.
+func TestPairedDiffsTighterThanUnpaired(t *testing.T) {
+	bestFit, err := PolicyVariant("best-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Def{Scale: tinyScale(), Seeds: 3, Parallelism: 8,
+		Variants: []Variant{ArrivalScale(1.5), Baseline(), bestFit}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline != 1 {
+		t.Fatalf("baseline anchor index %d, want 1", res.Baseline)
+	}
+	if res.Variants[1].Diffs != nil || res.Variants[1].UnpairedCI95 != nil {
+		t.Fatal("baseline variant must carry no self-difference")
+	}
+	metric := func(name string) int {
+		for m, n := range res.Metrics {
+			if n == name {
+				return m
+			}
+		}
+		t.Fatalf("metric %q not in sweep vector", name)
+		return -1
+	}
+	cpuUtil := metric("cpu_util")
+	tighter, total := 0, 0
+	for _, vi := range []int{0, 2} {
+		v := res.Variants[vi]
+		if len(v.Diffs) != len(res.Metrics) || len(v.UnpairedCI95) != len(res.Metrics) {
+			t.Fatalf("variant %q: diff vectors sized %d/%d, want %d",
+				v.Name, len(v.Diffs), len(v.UnpairedCI95), len(res.Metrics))
+		}
+		for m, d := range v.Diffs {
+			if d.N != 3 {
+				t.Fatalf("variant %q metric %s: diff n=%d, want 3", v.Name, res.Metrics[m], d.N)
+			}
+			if want := v.Stats[m].Mean - res.Variants[1].Stats[m].Mean; math.Abs(d.Mean-want) > 1e-9 {
+				t.Fatalf("variant %q metric %s: diff mean %g, want %g", v.Name, res.Metrics[m], d.Mean, want)
+			}
+			total++
+			if d.CI95 <= v.UnpairedCI95[m] {
+				tighter++
+			}
+		}
+		if d := v.Diffs[cpuUtil]; d.CI95 >= v.UnpairedCI95[cpuUtil] {
+			t.Fatalf("variant %q: paired cpu_util CI95 %g not tighter than unpaired %g",
+				v.Name, d.CI95, v.UnpairedCI95[cpuUtil])
+		}
+	}
+	if 2*tighter < total {
+		t.Fatalf("paired interval tighter for only %d/%d variant×metric pairs", tighter, total)
+	}
 }
 
 func TestRunRejectsBadDefs(t *testing.T) {
@@ -161,6 +246,66 @@ func TestParseVariants(t *testing.T) {
 	}
 }
 
+// TestParseVariantsPolicyAndComposite covers the policy family and the
+// name:knob=value composite clause grammar, plus the promise that every
+// rejection names the valid set — a typo never silently no-ops.
+func TestParseVariantsPolicyAndComposite(t *testing.T) {
+	vs, err := ParseVariants("policy:best-fit,worst-fit;zoo-hot:policy=oversub,arrival=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Name)
+	}
+	want := []string{"policy:best-fit", "policy:worst-fit", "zoo-hot"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("parsed %v, want %v", names, want)
+	}
+
+	p := workload.Profile2019("a", 100)
+	baseRate := p.JobsPerHour
+	vs[2].Apply(p)
+	if p.Policy != scheduler.Oversub || p.JobsPerHour != baseRate*1.5 {
+		t.Fatalf("composite overlay: policy %v, rate %g (base %g)", p.Policy, p.JobsPerHour, baseRate)
+	}
+	p2 := workload.Profile2019("a", 100)
+	vs[1].Apply(p2)
+	if p2.Policy != scheduler.WorstFit {
+		t.Fatalf("policy overlay: got %v", p2.Policy)
+	}
+
+	// Every rejection names the valid set it was checked against.
+	errorLists := []struct {
+		spec  string
+		lists []string
+	}{
+		{"bogus:1", familyNames()},                      // unknown family
+		{"zoo:bogus=1", knobNames()},                    // unknown composite knob
+		{"policy:bestfit", scheduler.PolicyNames()},     // unknown policy in family clause
+		{"zoo:policy=bestfit", scheduler.PolicyNames()}, // unknown policy in composite
+	}
+	for _, tc := range errorLists {
+		_, err := ParseVariants(tc.spec)
+		if err == nil {
+			t.Fatalf("ParseVariants(%q) accepted", tc.spec)
+		}
+		for _, name := range tc.lists {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("ParseVariants(%q) error %q does not list %q", tc.spec, err, name)
+			}
+		}
+	}
+	for _, bad := range []string{"zoo:arrival", "zoo:arrival=x", "zoo:arrival=-1", "zoo:arrival=0"} {
+		if _, err := ParseVariants(bad); err == nil {
+			t.Fatalf("ParseVariants(%q) accepted", bad)
+		}
+	}
+	if _, err := PolicyVariant("nope"); err == nil {
+		t.Fatal("PolicyVariant accepted an unknown policy name")
+	}
+}
+
 func TestVariantOverlaysMutateKnobs(t *testing.T) {
 	p := workload.Profile2019("a", 100)
 	baseRate, baseMachines := p.JobsPerHour, p.Machines
@@ -200,7 +345,7 @@ func TestSweepCSVs(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := make(map[string][]byte)
-		for _, name := range append([]string{"summary"}, res.Metrics...) {
+		for _, name := range append([]string{"summary", "paired_diffs"}, res.Metrics...) {
 			b, err := os.ReadFile(filepath.Join(dir, name+".csv"))
 			if err != nil {
 				t.Fatal(err)
@@ -228,5 +373,22 @@ func TestSweepCSVs(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(first["summary"]), "variant,metric,mean,stddev,min,max,ci95,n") {
 		t.Fatalf("summary header: %q", strings.SplitN(string(first["summary"]), "\n", 2)[0])
+	}
+
+	diffLines := strings.Split(strings.TrimSpace(string(first["paired_diffs"])), "\n")
+	if diffLines[0] != "variant,baseline,metric,diff_mean,diff_stddev,paired_ci95,unpaired_ci95,n" {
+		t.Fatalf("paired_diffs header %q", diffLines[0])
+	}
+	// header + (non-baseline variants × metrics) rows
+	if want := 1 + 1*len(res.Metrics); len(diffLines) != want {
+		t.Fatalf("paired_diffs.csv has %d lines, want %d", len(diffLines), want)
+	}
+
+	var report bytes.Buffer
+	if err := res.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), `== paired differences vs "baseline"`) {
+		t.Fatal("report is missing the paired-difference section")
 	}
 }

@@ -3,9 +3,11 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/scheduler"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -83,6 +85,21 @@ func ProdShift(f float64) Variant {
 	}
 }
 
+// PolicyVariant returns a variant pinning every cell's placement policy
+// to the named brain from the scheduler's policy zoo — same clusters,
+// same arrivals, different scheduler. It errors (rather than silently
+// no-opping) on a name outside the registered set.
+func PolicyVariant(name string) (Variant, error) {
+	policy, err := scheduler.ParsePolicy(name)
+	if err != nil {
+		return Variant{}, fmt.Errorf("sweep: %w", err)
+	}
+	return Variant{
+		Name:  "policy:" + name,
+		Apply: func(p *workload.CellProfile) { p.Policy = policy },
+	}, nil
+}
+
 // families maps a ParseVariants family keyword to its constructor.
 var families = map[string]func(float64) Variant{
 	"arrival":      ArrivalScale,
@@ -92,15 +109,97 @@ var families = map[string]func(float64) Variant{
 	"prodshift":    ProdShift,
 }
 
+// knobNames returns the valid composite-clause knobs, sorted, for error
+// messages: the numeric families plus policy.
+func knobNames() []string {
+	out := make([]string, 0, len(families)+1)
+	for name := range families {
+		out = append(out, name)
+	}
+	out = append(out, "policy")
+	sort.Strings(out)
+	return out
+}
+
+// familyNames returns the valid clause keywords, sorted, for error
+// messages: the knobs plus baseline.
+func familyNames() []string {
+	out := append(knobNames(), "baseline")
+	sort.Strings(out)
+	return out
+}
+
+// knobVariant builds one knob=value overlay of a named composite clause:
+// the numeric families by parsed float, or "policy" by policy name.
+func knobVariant(knob, value, clause string) (Variant, error) {
+	if knob == "policy" {
+		v, err := PolicyVariant(value)
+		if err != nil {
+			return Variant{}, fmt.Errorf("%w (in clause %q)", err, clause)
+		}
+		return v, nil
+	}
+	mk := families[knob]
+	if mk == nil {
+		return Variant{}, fmt.Errorf("sweep: unknown knob %q in clause %q (knobs: %s)",
+			knob, clause, strings.Join(knobNames(), ", "))
+	}
+	f, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return Variant{}, fmt.Errorf("sweep: bad value %q for knob %q in clause %q", value, knob, clause)
+	}
+	if f <= 0 {
+		return Variant{}, fmt.Errorf("sweep: value %g for knob %q in clause %q must be positive", f, knob, clause)
+	}
+	return mk(f), nil
+}
+
+// parseNamedClause parses a "name:knob=value[,knob=value...]" composite
+// clause into one variant carrying the clause's own name and applying
+// every knob overlay in order.
+func parseNamedClause(name, values, clause string) (Variant, error) {
+	var overlays []func(*workload.CellProfile)
+	for _, kv := range strings.Split(values, ",") {
+		knob, value, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Variant{}, fmt.Errorf("sweep: bad knob assignment %q in clause %q (want knob=value)", kv, clause)
+		}
+		v, err := knobVariant(strings.TrimSpace(knob), strings.TrimSpace(value), clause)
+		if err != nil {
+			return Variant{}, err
+		}
+		overlays = append(overlays, v.Apply)
+	}
+	return Variant{
+		Name: name,
+		Apply: func(p *workload.CellProfile) {
+			for _, apply := range overlays {
+				apply(p)
+			}
+		},
+	}, nil
+}
+
 // ParseVariants parses a CLI sweep specification: semicolon-separated
-// clauses, each either "baseline" or "family:v1,v2,..." expanding to one
-// variant per value, in order. Families: arrival, machines, overcommit
-// (multipliers), allocceiling (absolute fraction), prodshift
-// (production-share multiplier). Example:
+// clauses, each one of
 //
-//	arrival:0.5,1.0,2.0;overcommit:1.25
+//   - "baseline" — the identity variant;
+//   - "family:v1,v2,..." — one variant per numeric value. Families:
+//     arrival, machines, overcommit (multipliers), allocceiling
+//     (absolute fraction), prodshift (production-share multiplier);
+//   - "policy:name1,name2,..." — one variant per placement policy from
+//     the scheduler zoo (scheduler.PolicyNames);
+//   - "name:knob=value[,knob=value...]" — a named composite variant
+//     applying each knob overlay in order; knobs are the families above
+//     plus policy.
 //
-// expands to four variants. An empty spec yields just the baseline.
+// Example:
+//
+//	baseline;arrival:0.5,2.0;policy:best-fit;zoo-hot:policy=oversub,arrival=1.5
+//
+// expands to five variants. Unknown clause, knob and policy names error
+// with the valid set — a typo never silently no-ops. An empty spec
+// yields just the baseline.
 func ParseVariants(spec string) ([]Variant, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -117,9 +216,33 @@ func ParseVariants(spec string) ([]Variant, error) {
 			continue
 		}
 		family, values, ok := strings.Cut(clause, ":")
-		mk := families[strings.TrimSpace(family)]
-		if !ok || mk == nil {
-			return nil, fmt.Errorf("sweep: unknown variant clause %q (families: arrival, machines, overcommit, allocceiling, prodshift, baseline)", clause)
+		family = strings.TrimSpace(family)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown variant clause %q (clauses: %s, or name:knob=value)",
+				clause, strings.Join(familyNames(), ", "))
+		}
+		if strings.Contains(values, "=") {
+			v, err := parseNamedClause(family, values, clause)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if family == "policy" {
+			for _, name := range strings.Split(values, ",") {
+				v, err := PolicyVariant(strings.TrimSpace(name))
+				if err != nil {
+					return nil, fmt.Errorf("%w (in clause %q)", err, clause)
+				}
+				out = append(out, v)
+			}
+			continue
+		}
+		mk := families[family]
+		if mk == nil {
+			return nil, fmt.Errorf("sweep: unknown variant family %q in clause %q (clauses: %s, or name:knob=value)",
+				family, clause, strings.Join(familyNames(), ", "))
 		}
 		for _, vs := range strings.Split(values, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(vs), 64)
