@@ -9,14 +9,17 @@ package repro
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/streaming"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/rng"
 	"repro/internal/scheduler"
@@ -301,6 +304,58 @@ func BenchmarkStreamingSuite(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(peak)/1e6, "peak-heap-MB")
+}
+
+// BenchmarkManyCellSuite is the warehouse-scale smoke benchmark: it
+// simulates a fleet of 54 small 2019 cells (profiles sampled round-robin
+// from the paper's a–h set) in one engine run with NoMemTrace and one
+// streaming reducer per cell — the shape a many-cell fleet study takes.
+// Peak heap must stay under the same 1536 MB ceiling the CI streaming
+// guard enforces: per-cell memory is bounded reducer state, so the fleet
+// footprint grows with cells, not with rows. The run takes tens of
+// seconds, so it is gated behind MANY_CELL_BENCH=1 (the CI many-cell
+// smoke job sets it).
+func BenchmarkManyCellSuite(b *testing.B) {
+	if os.Getenv("MANY_CELL_BENCH") != "1" {
+		b.Skip("set MANY_CELL_BENCH=1 to run the many-cell suite benchmark")
+	}
+	const (
+		cells       = 54
+		machines    = 60
+		heapCeiling = 1536.0 // MB, matching the CI memory-ceiling gate
+	)
+	names := workload.Cells2019()
+	b.ResetTimer()
+	var rows int64
+	peak := experiments.PeakHeapDuring(func() {
+		for i := 0; i < b.N; i++ {
+			specs := make([]engine.Spec, cells)
+			for c := range specs {
+				p := workload.Profile2019(names[c%len(names)], machines)
+				specs[c] = engine.NewSpec(c, p, core.Options{
+					Horizon:    2 * sim.Hour,
+					NoMemTrace: true,
+				}, 29)
+			}
+			reducers := make([]*streaming.CellReducer, cells)
+			engine.AttachSinks(specs, func(c int) trace.Sink {
+				reducers[c] = experiments.NewCellReducerFor(specs[c])
+				return reducers[c]
+			})
+			for _, res := range engine.Run(specs, engine.Options{}) {
+				rows += res.Rows.Total()
+			}
+		}
+	})
+	if rows == 0 {
+		b.Fatal("many-cell run emitted no rows")
+	}
+	peakMB := float64(peak) / 1e6
+	b.ReportMetric(peakMB, "peak-heap-MB")
+	b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+	if peakMB > heapCeiling {
+		b.Fatalf("peak heap %.0f MB exceeds the %d MB ceiling", peakMB, int(heapCeiling))
+	}
 }
 
 // BenchmarkSimulateCell measures end-to-end cell simulation throughput.

@@ -25,6 +25,7 @@
 //
 //	borgexperiments [-scale small|default|large] [-seed N] [-parallel N]
 //	                [-policy NAME] [-stream] [-export DIR] [-o report.txt]
+//	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -policy overrides every cell's placement policy (see the scheduler
 // policy zoo: random-fit, best-fit, least-allocated, worst-fit, oversub,
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/scheduler"
 )
 
@@ -56,7 +58,19 @@ func main() {
 	stream := flag.Bool("stream", false, "run with NoMemTrace: fold rows through streaming reducers instead of retaining traces (same report bytes)")
 	export := flag.String("export", "", "write per-cell CSV trace shards to this directory while simulating (implies -stream)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var sc experiments.Scale
 	switch *scaleName {

@@ -20,6 +20,7 @@
 //
 //	borgsweep [-scale small|default|large] [-seed N] [-seeds N]
 //	          [-variants SPEC] [-parallel N] [-o report.txt] [-csv DIR]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // where SPEC is semicolon-separated clauses: "baseline", a numeric
 // family "family:v1,v2,..." (arrival, machines, overcommit,
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/sweep"
 )
 
@@ -60,7 +62,19 @@ func main() {
 	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
 	out := flag.String("o", "", "write the sweep report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "export per-metric and summary CSVs to this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var sc experiments.Scale
 	switch *scaleName {

@@ -32,7 +32,9 @@
 //     pipeline: rows flow through composable trace.Sink implementations
 //     (FanOut, BufferedSink batching, SyncSink for sinks shared across
 //     cells, CountingSink online reduction). Full in-memory retention
-//     (MemTrace) is just one sink and can be switched off per run.
+//     (MemTrace) is just one sink and can be switched off per run. Sinks
+//     that can absorb many usage rows at once additionally implement
+//     trace.UsageBatcher (see "Usage pipeline and sink batching" below).
 //   - internal/core — the single-cell façade: wires one cell's
 //     components and sink pipeline and runs it to the horizon.
 //   - internal/engine — multi-cell orchestration: runs N cell
@@ -100,6 +102,47 @@
 // streamed report vs retained report), a benchmark-regression gate
 // against the checked-in baselines, and a peak-HeapAlloc ceiling on the
 // LargeScale streaming suite.
+//
+// # Usage pipeline and sink batching
+//
+// Usage sampling is the per-window hot loop: every five simulated
+// minutes the sampler visits every occupied machine and emits one
+// UsageRecord per resident task. At warehouse scale that loop dominates
+// the profile, so both of its halves are allocation-free. The sampler
+// side walks an occupied-machine index maintained by the cell (never
+// scanning empty machines), reuses pooled observation and record
+// buffers across windows, and tracks first-window-after-placement state
+// with a generation counter instead of a per-window map; a steady-state
+// sampling window performs zero heap allocations (AllocsPerRun-guarded
+// in CI, like the placement fast path).
+//
+// The delivery side batches: instead of one Sink.Usage virtual call per
+// record, the sampler hands each machine-window's records to the sink
+// as one []UsageRecord. The contract is trace.UsageBatcher, an optional
+// capability interface next to trace.Sink:
+//
+//   - UsageBatch(recs) must be semantically identical to calling
+//     Usage(recs[i]) for i in order — batching changes the call count,
+//     never the row sequence any downstream observes.
+//   - The slice is only valid for the duration of the call (the sampler
+//     reuses it next window); implementations that retain rows must
+//     copy them out, as MemTrace and BufferedSink do.
+//   - trace.EmitUsageBatch(sink, recs) is the dispatch helper: it
+//     type-asserts once and falls back to the per-record loop for plain
+//     scalar sinks, so batching is transparent to sinks that never opt
+//     in.
+//
+// The composable sinks propagate the capability end to end: FanOut
+// forwards a batch to every child (each child independently batched or
+// scalar), SyncSink holds its lock once per batch, CountingSink counts
+// len(recs) in one step, BufferedSink passes batches straight through
+// to a batch-capable downstream (draining any buffered scalar stragglers
+// first, preserving row order) and buffers row-by-row otherwise, and
+// streaming.CellReducer folds a whole batch with its per-collection
+// classification memoized across adjacent rows. Batched and scalar
+// delivery produce byte-identical reports and CSV export shards at any
+// parallelism — CI pins that with a differential test that forces the
+// scalar path through an interposer and diffs the bytes.
 //
 // # Parameter sweeps
 //

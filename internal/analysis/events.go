@@ -105,8 +105,9 @@ func (a *AllocSetAccum) ObserveCollection(ct trace.CollectionType, allocSet trac
 
 // ObserveUsage folds one usage record, categorized by its collection:
 // the record belongs to an alloc set, to a job inside an alloc set, or to
-// a free-standing job.
-func (a *AllocSetAccum) ObserveUsage(rec trace.UsageRecord, isAllocSet, inAllocSet bool) {
+// a free-standing job. The record is passed by pointer because this runs
+// once per usage row on the streaming hot path; it is not retained.
+func (a *AllocSetAccum) ObserveUsage(rec *trace.UsageRecord, isAllocSet, inAllocSet bool) {
 	switch {
 	case isAllocSet:
 		a.CPUAllocSets += rec.Limit.CPU
@@ -187,7 +188,8 @@ func AllocSetAccumOf(tr *trace.MemTrace) AllocSetAccum {
 			inAllocSet[info.ID] = true
 		}
 	}
-	for _, rec := range tr.UsageRecords {
+	for i := range tr.UsageRecords {
+		rec := &tr.UsageRecords[i]
 		a.ObserveUsage(rec, isAllocSet[rec.Key.Collection], inAllocSet[rec.Key.Collection])
 	}
 	return a

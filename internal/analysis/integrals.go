@@ -179,7 +179,9 @@ func CPUMemCorrelation(integrals UsageIntegrals, maxBucket int) (points []Bucket
 //	peak NCU slack = max(0, limit − max usage) / limit.
 //
 // The second return is false when the record carries no CPU limit.
-func SlackSampleOf(rec trace.UsageRecord) (float64, bool) {
+// The record is passed by pointer because this runs once per usage row
+// on the streaming hot path; it is not retained.
+func SlackSampleOf(rec *trace.UsageRecord) (float64, bool) {
 	if rec.Limit.CPU <= 0 {
 		return 0, false
 	}
@@ -200,7 +202,8 @@ func SlackSamplesOf(tr *trace.MemTrace) map[trace.VerticalScaling][]float64 {
 		scaling[info.ID] = info.Scaling
 		isJob[info.ID] = info.CollectionType == trace.CollectionJob
 	}
-	for _, rec := range tr.UsageRecords {
+	for i := range tr.UsageRecords {
+		rec := &tr.UsageRecords[i]
 		if !isJob[rec.Key.Collection] {
 			continue
 		}

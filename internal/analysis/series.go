@@ -123,17 +123,17 @@ func SeriesHours(duration sim.Time) int {
 // reducer fold records online and still match the post-hoc sums bit for
 // bit.
 type SeriesAccum struct {
-	hours    int
-	cpu, mem map[trace.Tier][]float64
+	hours int
+	// Tiers are dense (0..NumTiers-1), so the per-tier buckets live in
+	// arrays rather than maps: folding a record is pure indexed
+	// arithmetic, which matters because this sits on the reducer's
+	// per-usage-record path.
+	cpu, mem [trace.NumTiers][]float64
 }
 
 // NewSeriesAccum returns a zeroed accumulator with one bucket per hour.
 func NewSeriesAccum(hours int) *SeriesAccum {
-	a := &SeriesAccum{
-		hours: hours,
-		cpu:   make(map[trace.Tier][]float64),
-		mem:   make(map[trace.Tier][]float64),
-	}
+	a := &SeriesAccum{hours: hours}
 	for _, t := range trace.Tiers() {
 		a.cpu[t] = make([]float64, hours)
 		a.mem[t] = make([]float64, hours)
@@ -141,16 +141,25 @@ func NewSeriesAccum(hours int) *SeriesAccum {
 	return a
 }
 
+// sampleWindowHours is Observe's per-record weight, hoisted.
+var sampleWindowHours = sim.SampleWindow.Hours()
+
 // Observe folds one record's contribution (v, normally the record's
 // average usage or its limit) into the hour bucket containing its start.
 func (a *SeriesAccum) Observe(rec trace.UsageRecord, v trace.Resources) {
-	h := int(rec.Start / sim.Hour)
+	a.ObserveAt(rec.Start, rec.Tier, v)
+}
+
+// ObserveAt is Observe without the record: the streaming reducer's batch
+// path calls it with the three fields it already has in hand, skipping a
+// full record copy per accumulator.
+func (a *SeriesAccum) ObserveAt(start sim.Time, tier trace.Tier, v trace.Resources) {
+	h := int(start / sim.Hour)
 	if h < 0 || h >= a.hours {
 		return
 	}
-	windowHours := sim.SampleWindow.Hours()
-	a.cpu[rec.Tier][h] += v.CPU * windowHours
-	a.mem[rec.Tier][h] += v.Mem * windowHours
+	a.cpu[tier][h] += v.CPU * sampleWindowHours
+	a.mem[tier][h] += v.Mem * sampleWindowHours
 }
 
 // Finish normalizes the accumulated resource-hours by the cell's hourly

@@ -59,6 +59,14 @@ type collState struct {
 	lastEvent trace.EventType
 	hasLast   bool
 
+	// Usage-path classification, memoized when the first event delivers
+	// the static attributes (which precede every row that references the
+	// collection): the per-record hot path tests three booleans instead
+	// of re-deriving them from info.
+	isJob      bool
+	isAllocSet bool
+	inAlloc    bool
+
 	evictions int
 	tasks     int // distinct instance indices seen
 
@@ -72,6 +80,9 @@ type instState struct {
 	hasLast   bool
 	submitted bool // first SUBMIT counted toward Figure 9's new tasks
 }
+
+// numScalingModes spans the dense trace.VerticalScaling values.
+const numScalingModes = int(trace.ScalingFull) + 1
 
 // CellReducer reduces one cell's trace stream into every per-figure
 // analysis. It is not safe for concurrent use; the engine drives each
@@ -91,7 +102,9 @@ type CellReducer struct {
 	insts      map[trace.InstanceKey]*instState
 	rates      analysis.SubmissionRates
 	allocAccum analysis.AllocSetAccum
-	slack      map[trace.VerticalScaling][]float64
+	// slack is indexed by the dense trace.VerticalScaling values;
+	// SlackSamples rebuilds the map shape the analyses consume.
+	slack      [numScalingModes][]float64
 	batchQueue bool
 
 	enable     map[trace.CollectionID]sim.Time
@@ -130,7 +143,6 @@ func NewCellReducer(cfg Config) *CellReducer {
 			NewTasksPerHour: make([]float64, hours),
 			AllTasksPerHour: make([]float64, hours),
 		},
-		slack:      make(map[trace.VerticalScaling][]float64),
 		enable:     make(map[trace.CollectionID]sim.Time),
 		enableTier: make(map[trace.CollectionID]trace.Tier),
 		firstSched: make(map[trace.CollectionID]sim.Time),
@@ -174,6 +186,9 @@ func (r *CellReducer) CollectionEvent(ev trace.CollectionEvent) {
 			FinalEvent:     trace.EventSubmit,
 		}
 		r.allocAccum.ObserveCollection(ev.CollectionType, ev.AllocSet, ev.Tier)
+		c.isJob = ev.CollectionType == trace.CollectionJob
+		c.isAllocSet = ev.CollectionType == trace.CollectionAllocSet
+		c.inAlloc = c.isJob && ev.AllocSet != 0
 	}
 	if ev.Type.IsTermination() {
 		c.info.FinalEvent = ev.Type
@@ -243,18 +258,43 @@ func (r *CellReducer) InstanceEvent(ev trace.InstanceEvent) {
 // Usage reduces one instance_usage row.
 func (r *CellReducer) Usage(rec trace.UsageRecord) {
 	r.mutable()
-	r.usageAcc.Observe(rec, rec.AvgUsage)
+	r.usageOne(&rec, r.colls[rec.Key.Collection])
+}
 
-	c := r.colls[rec.Key.Collection]
-	hasInfo := c != nil && c.hasInfo
-	isJob := hasInfo && c.info.CollectionType == trace.CollectionJob
-	isAllocSet := hasInfo && c.info.CollectionType == trace.CollectionAllocSet
-	inAlloc := isJob && c.info.AllocSet != 0
+// UsageBatch reduces a block of instance_usage rows. Each record folds
+// exactly as a scalar Usage call would — same terms, same order — so
+// batched and scalar delivery of the same stream are bit-identical. The
+// collection lookup is memoized across adjacent records: a machine
+// window's batch arrives in victim order (priority, then collection),
+// so same-collection records cluster.
+func (r *CellReducer) UsageBatch(recs []trace.UsageRecord) {
+	r.mutable()
+	var lastC *collState
+	var lastID trace.CollectionID
+	for i := range recs {
+		rec := &recs[i]
+		if id := rec.Key.Collection; lastC == nil || id != lastID {
+			lastC = r.colls[id]
+			lastID = id
+		}
+		r.usageOne(rec, lastC)
+	}
+}
+
+// usageOne folds one usage record given its collection's reduced state
+// (nil when the collection has never had an event).
+func (r *CellReducer) usageOne(rec *trace.UsageRecord, c *collState) {
+	r.usageAcc.ObserveAt(rec.Start, rec.Tier, rec.AvgUsage)
+
+	var isJob, isAllocSet, inAlloc bool
+	if c != nil && c.hasInfo {
+		isJob, isAllocSet, inAlloc = c.isJob, c.isAllocSet, c.inAlloc
+	}
 
 	if !inAlloc {
 		// Jobs inside alloc sets consume their alloc set's reservation,
 		// which the alloc set's own records already count (Figure 4).
-		r.allocAcc.Observe(rec, rec.Limit)
+		r.allocAcc.ObserveAt(rec.Start, rec.Tier, rec.Limit)
 	}
 	r.allocAccum.ObserveUsage(rec, isAllocSet, inAlloc)
 
@@ -427,9 +467,17 @@ func (r *CellReducer) UsageIntegrals() analysis.UsageIntegrals {
 }
 
 // SlackSamples returns the cell's Figure 14 slack samples by strategy.
+// Like the post-hoc analysis.SlackSamplesOf, the map holds only
+// strategies that produced at least one sample.
 func (r *CellReducer) SlackSamples() map[trace.VerticalScaling][]float64 {
 	r.finalize()
-	return r.slack
+	out := make(map[trace.VerticalScaling][]float64)
+	for mode, samples := range r.slack {
+		if len(samples) > 0 {
+			out[trace.VerticalScaling(mode)] = samples
+		}
+	}
+	return out
 }
 
 // Counts summarizes the reducer's state sizes, for logs.

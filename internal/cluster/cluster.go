@@ -72,9 +72,14 @@ type Resident struct {
 	Tier     trace.Tier
 	// Usage is the most recent sampled usage; updated by the usage model
 	// each sampling window. While a resident is placed, writes must go
-	// through Machine.SetUsage so the machine's incremental usage
-	// aggregate stays consistent.
+	// through Machine.SetUsage or Machine.SetResidentUsage so the
+	// machine's incremental usage aggregate stays consistent.
 	Usage trace.Resources
+	// Task is an opaque owner cookie: the scheduler stores its task
+	// pointer here when it places the resident so per-window sampling
+	// avoids a key-to-task map lookup. The cluster never reads it; it is
+	// cleared when the scheduler recycles the resident.
+	Task any
 }
 
 // Machine is one node of the cell with capacity, allocation, and resident
@@ -166,11 +171,18 @@ func (m *Machine) SetUsage(key trace.InstanceKey, usage trace.Resources) bool {
 	if r == nil {
 		return false
 	}
+	m.SetResidentUsage(r, usage)
+	return true
+}
+
+// SetResidentUsage is SetUsage for a caller already holding the resident
+// (e.g. from a Residents snapshot): same aggregate maintenance, no map
+// lookup. The resident must currently be placed on m.
+func (m *Machine) SetResidentUsage(r *Resident, usage trace.Resources) {
 	m.usageTotal = m.usageTotal.Sub(r.Usage).Add(usage)
 	m.clampAggregates()
 	r.Usage = usage
 	m.gen++
-	return true
 }
 
 // mutated records a resident-set mutation: the victim order needs repair
@@ -244,7 +256,11 @@ type Cell struct {
 
 	machines map[trace.MachineID]*Machine
 	ids      []trace.MachineID // sorted, kept in sync with machines
-	capacity trace.Resources   // total live capacity
+	// occ lists machines that currently hold at least one resident, in
+	// ascending ID order. Place/Remove maintain it on the 0↔1 resident
+	// transitions so per-window sampling walks only occupied machines.
+	occ      []*Machine
+	capacity trace.Resources // total live capacity
 	nextID   trace.MachineID
 }
 
@@ -306,6 +322,32 @@ func (c *Cell) Capacity() trace.Resources { return c.capacity }
 // MachineIDs returns the live machine IDs in ascending order.
 func (c *Cell) MachineIDs() []trace.MachineID { return c.ids }
 
+// OccupiedMachines returns the machines holding at least one resident,
+// in ascending ID order. The slice is the cell's live index: callers
+// must not modify it or retain it across placements.
+func (c *Cell) OccupiedMachines() []*Machine { return c.occ }
+
+// occIndex returns the position of (or insertion point for) machine ID
+// id in the occupied index.
+func (c *Cell) occIndex(id trace.MachineID) int {
+	return sort.Search(len(c.occ), func(i int) bool { return c.occ[i].ID >= id })
+}
+
+// occupy inserts m into the occupied index (first resident arrived).
+func (c *Cell) occupy(m *Machine) {
+	i := c.occIndex(m.ID)
+	c.occ = append(c.occ, nil)
+	copy(c.occ[i+1:], c.occ[i:])
+	c.occ[i] = m
+}
+
+// vacate drops m from the occupied index (last resident left).
+func (c *Cell) vacate(m *Machine) {
+	if i := c.occIndex(m.ID); i < len(c.occ) && c.occ[i] == m {
+		c.occ = append(c.occ[:i], c.occ[i+1:]...)
+	}
+}
+
 // Machines calls fn for every live machine in ID order.
 func (c *Cell) Machines(fn func(m *Machine)) {
 	for _, id := range c.ids {
@@ -327,6 +369,9 @@ func (c *Cell) Place(id trace.MachineID, r *Resident) {
 	m.residents[r.Key] = r
 	m.allocated = m.allocated.Add(r.Limit)
 	m.usageTotal = m.usageTotal.Add(r.Usage)
+	if len(m.residents) == 1 {
+		c.occupy(m)
+	}
 	m.mutated()
 }
 
@@ -344,6 +389,9 @@ func (c *Cell) Remove(id trace.MachineID, key trace.InstanceKey) *Resident {
 	delete(m.residents, key)
 	m.allocated = m.allocated.Sub(r.Limit)
 	m.usageTotal = m.usageTotal.Sub(r.Usage)
+	if len(m.residents) == 0 {
+		c.vacate(m)
+	}
 	m.clampAggregates()
 	m.mutated()
 	return r

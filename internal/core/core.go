@@ -199,6 +199,7 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 // obs is one running task's sampled usage for the current window.
 type obs struct {
 	task *scheduler.Task
+	res  *cluster.Resident
 	avg  trace.Resources
 	peak trace.Resources
 }
@@ -207,20 +208,36 @@ type obs struct {
 // records, applies work-conserving CPU throttling and memory OOM pressure,
 // and feeds Autopilot.
 type usageSampler struct {
-	p          *workload.CellProfile
-	cell       *cluster.Cell
-	sched      *scheduler.Scheduler
-	ap         *autopilot.Autopilot
-	sink       trace.Sink
+	p     *workload.CellProfile
+	cell  *cluster.Cell
+	sched *scheduler.Scheduler
+	ap    *autopilot.Autopilot
+	sink  trace.Sink
+	// batcher is sink's UsageBatcher capability, asserted once at
+	// construction so the per-machine emit pays no dynamic dispatch.
+	// Nil when sink only takes scalar rows.
+	batcher    trace.UsageBatcher
 	src        *rng.Source
 	k          *sim.Kernel
 	histograms bool
 	// obsBuf is the per-machine observation scratch, reused every window
 	// so steady-state sampling does not allocate.
 	obsBuf []obs
-	// prevTracked lets us Forget autopilot windows for tasks that
-	// stopped running between samples.
-	prevTracked map[trace.InstanceKey]bool
+	// machBuf snapshots the cell's occupied-machine index each window
+	// (see sample); reused like obsBuf.
+	machBuf []*cluster.Machine
+	// recBuf collects one machine-window's usage records and is handed to
+	// the sink as a single batch (trace.EmitUsageBatch); the sink must not
+	// retain it, so the buffer is reused every machine.
+	recBuf []trace.UsageRecord
+	// trackSeen maps instance keys the autopilot has open windows for to
+	// the last sampling generation that observed them; entries whose stamp
+	// falls behind trackGen belong to tasks that stopped running and are
+	// forgotten. Generation stamping replaces the previous
+	// two-map scheme, which allocated a fresh map every window. Unused
+	// (and nil) when ap == nil.
+	trackSeen map[trace.InstanceKey]uint64
+	trackGen  uint64
 	// partialCPU/partialMem accumulate the time-weighted usage already
 	// emitted for the current window by tasks that stopped mid-window,
 	// per machine. The tick throttle subtracts them so a machine's
@@ -231,29 +248,53 @@ type usageSampler struct {
 
 func newUsageSampler(p *workload.CellProfile, cell *cluster.Cell, sched *scheduler.Scheduler,
 	ap *autopilot.Autopilot, sink trace.Sink, src *rng.Source, histograms bool) *usageSampler {
-	return &usageSampler{
+	u := &usageSampler{
 		p: p, cell: cell, sched: sched, ap: ap, sink: sink, src: src,
-		histograms:  histograms,
-		prevTracked: make(map[trace.InstanceKey]bool),
-		partialCPU:  make(map[trace.MachineID]float64),
-		partialMem:  make(map[trace.MachineID]float64),
+		histograms: histograms,
+		partialCPU: make(map[trace.MachineID]float64),
+		partialMem: make(map[trace.MachineID]float64),
 	}
+	if ap != nil {
+		u.trackSeen = make(map[trace.InstanceKey]uint64)
+	}
+	u.batcher, _ = sink.(trace.UsageBatcher)
+	return u
 }
 
 // sample emits one 5-minute window of usage records ending at now. It
-// walks machines in ID order and each machine's cached resident order —
-// both deterministic — so randomness consumption stays a pure function of
-// the simulation state, with no per-window sorting or grouping maps.
+// walks the cell's occupied-machine index in ID order and each machine's
+// cached resident order — both deterministic — so randomness consumption
+// stays a pure function of the simulation state, with no per-window
+// sorting or grouping maps. Machines without residents consume no
+// randomness, which is what makes the occupied-only walk draw-for-draw
+// identical to a full machine scan. Each machine's records leave as one
+// batch (trace.EmitUsageBatch), and steady-state sampling with autopilot
+// disabled performs zero heap allocations.
 func (u *usageSampler) sample(now sim.Time) {
-	tracked := make(map[trace.InstanceKey]bool)
-	for _, mid := range u.cell.MachineIDs() {
-		m := u.cell.Machine(mid)
-		if m == nil || m.NumResidents() == 0 {
+	if u.ap != nil {
+		u.trackGen++
+	}
+	// Snapshot the occupied index before walking it: handling one
+	// machine's memory pressure can empty the machine, and the index's
+	// in-place compaction would make a live range skip the next entry.
+	// Nothing during the walk can occupy a new machine or touch another
+	// machine's residents, so the snapshot visits exactly the machines a
+	// full ID scan would.
+	machines := append(u.machBuf[:0], u.cell.OccupiedMachines()...)
+	for _, m := range machines {
+		mid := m.ID
+		if m.NumResidents() == 0 {
 			continue
 		}
 		list := u.obsBuf[:0]
+		var cpuSum, memSum float64
 		for _, r := range m.Residents() {
-			t := u.sched.TaskByKey(r.Key)
+			// The resident carries its task pointer; direct cluster
+			// placements (tests) fall back to the key lookup.
+			t, _ := r.Task.(*scheduler.Task)
+			if t == nil {
+				t = u.sched.TaskByKey(r.Key)
+			}
 			if t == nil || t.State != scheduler.TaskRunning || t.Machine != mid {
 				continue
 			}
@@ -261,7 +302,16 @@ func (u *usageSampler) sample(now sim.Time) {
 			noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
 			avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
 			peakJitter := 1 + (t.PeakFact-1)*(0.7+0.6*u.src.Float64())
-			list = append(list, obs{task: t, avg: avg, peak: avg.Scale(peakJitter)})
+			cpuSum += avg.CPU
+			memSum += avg.Mem
+			if n := len(list); n < cap(list) {
+				list = list[:n+1]
+			} else {
+				list = append(list, obs{})
+			}
+			o := &list[len(list)-1]
+			o.task, o.res = t, r
+			o.avg, o.peak = avg, avg.Scale(peakJitter)
 		}
 		u.obsBuf = list[:0]
 		if len(list) == 0 {
@@ -271,18 +321,17 @@ func (u *usageSampler) sample(now sim.Time) {
 		// capacity; oversubscribed machines throttle everyone
 		// proportionally (§2). Capacity already consumed by tasks that
 		// stopped earlier in this window is reserved first.
-		capCPU := m.Capacity.CPU - u.partialCPU[mid]
-		capMem := m.Capacity.Mem - u.partialMem[mid]
+		capCPU := m.Capacity.CPU
+		capMem := m.Capacity.Mem
+		if len(u.partialCPU) > 0 || len(u.partialMem) > 0 {
+			capCPU -= u.partialCPU[mid]
+			capMem -= u.partialMem[mid]
+		}
 		if capCPU < 0 {
 			capCPU = 0
 		}
 		if capMem < 0 {
 			capMem = 0
-		}
-		var cpuSum, memSum float64
-		for i := range list {
-			cpuSum += list[i].avg.CPU
-			memSum += list[i].avg.Mem
 		}
 		if cpuSum > capCPU && cpuSum > 0 {
 			f := capCPU / cpuSum
@@ -295,48 +344,74 @@ func (u *usageSampler) sample(now sim.Time) {
 		// (§5.2); the evicted tasks' usage vanishes with them.
 		if memSum > capMem {
 			for i := range list {
-				// SetUsage keeps the machine's incremental usage aggregate
-				// consistent; the pressure handler below reads it.
-				m.SetUsage(list[i].task.Key, list[i].avg)
+				// SetResidentUsage keeps the machine's incremental usage
+				// aggregate consistent; the pressure handler below reads it.
+				m.SetResidentUsage(list[i].res, list[i].avg)
 			}
 			u.sched.HandleMemoryPressure(mid, capMem)
 		}
 
+		recs := u.recBuf[:0]
 		for i := range list {
 			o := &list[i]
 			t := o.task
 			if t.State != scheduler.TaskRunning || t.Machine != mid {
 				continue // evicted by the pressure handler above
 			}
-			m.SetUsage(t.Key, o.avg)
-			rec := trace.UsageRecord{
-				Start:    now - sim.SampleWindow,
-				End:      now,
-				Key:      t.Key,
-				Machine:  mid,
-				Tier:     t.Job.Tier,
-				AvgUsage: o.avg,
-				MaxUsage: o.peak,
-				Limit:    t.Request,
+			m.SetResidentUsage(o.res, o.avg)
+			if n := len(recs); n < cap(recs) {
+				recs = recs[:n+1]
+			} else {
+				recs = append(recs, trace.UsageRecord{})
 			}
+			// Field assignments instead of a composite literal: the
+			// literal would be built in a temporary and copied into the
+			// reused slot. The histogram pointer is cleared explicitly
+			// because the slot may hold a stale one from the last window.
+			rec := &recs[len(recs)-1]
+			rec.Start = now - sim.SampleWindow
+			rec.End = now
+			rec.Key = t.Key
+			rec.Machine = mid
+			rec.Tier = t.Job.Tier
+			rec.AvgUsage = o.avg
+			rec.MaxUsage = o.peak
+			rec.Limit = t.Request
+			rec.CPUHistogram = nil
 			if u.histograms {
 				rec.CPUHistogram = synthHistogram(o.avg.CPU, o.peak.CPU, t.Request.CPU, u.src)
 			}
-			u.sink.Usage(rec)
 			if u.ap != nil {
+				// Observe may emit UPDATE_RUNNING instance events and
+				// resize this task's request; the record above already
+				// captured the pre-update limit, exactly as scalar
+				// emission did.
 				u.ap.Observe(now, t, o.peak)
-				tracked[t.Key] = true
+				u.trackSeen[t.Key] = u.trackGen
 			}
 		}
+		if len(recs) > 0 {
+			if u.batcher != nil {
+				u.batcher.UsageBatch(recs)
+			} else {
+				trace.EmitUsageBatch(u.sink, recs)
+			}
+		}
+		u.recBuf = recs[:0]
 	}
+	u.machBuf = machines[:0]
 
 	if u.ap != nil {
-		for key := range u.prevTracked {
-			if !tracked[key] {
+		// Stale stamps are tasks that stopped running since their last
+		// observation: close their autopilot windows. Forget is a bare
+		// map delete, so the map's iteration order cannot influence the
+		// simulation.
+		for key, gen := range u.trackSeen {
+			if gen != u.trackGen {
+				delete(u.trackSeen, key)
 				u.ap.Forget(key)
 			}
 		}
-		u.prevTracked = tracked
 	}
 
 	// A new window begins: release the partial-usage reservations.

@@ -1,0 +1,65 @@
+// Package profiling backs the -cpuprofile/-memprofile flags of the
+// command-line tools: pprof profiles of whole simulation runs, for
+// finding hot paths at realistic scales instead of microbenchmark ones.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session owns the profile files opened for one run.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// Stop time to memPath; either path may be empty to disable that
+// profile. Callers must invoke Stop on the way out (note that log.Fatal
+// skips deferred calls: profiles of a failed run are lost, which is the
+// standard trade-off).
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop flushes and closes the CPU profile and, when requested, writes
+// the heap profile after a GC so it reflects the final live set. It is
+// idempotent.
+func (s *Session) Stop() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := s.cpuFile.Close()
+		s.cpuFile = nil
+		if err != nil {
+			return err
+		}
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return err
+		}
+		s.memPath = ""
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

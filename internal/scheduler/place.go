@@ -137,7 +137,12 @@ func (s *Scheduler) releaseResident(r *cluster.Resident) {
 // placeOnMachine commits a placement and starts the task.
 func (s *Scheduler) placeOnMachine(t *Task, m *cluster.Machine) {
 	limit := t.Request
-	s.cell.Place(m.ID, s.takeResident(t.Key, limit, t.Job.Priority, t.Job.Tier))
+	res := s.takeResident(t.Key, limit, t.Job.Priority, t.Job.Tier)
+	// The resident carries the task pointer so the usage sampler reads
+	// residents straight into tasks with no key lookup; recycling the
+	// record (releaseResident) clears it.
+	res.Task = t
+	s.cell.Place(m.ID, res)
 	s.stats.TasksPlaced++
 	s.startRunning(t, m.ID)
 
@@ -181,7 +186,9 @@ func (s *Scheduler) placeInAlloc(t *Task, now sim.Time) {
 	t.AllocInstance = best.Key
 	// Inner tasks consume the alloc set's reservation, not fresh machine
 	// allocation, so they join the machine with a zero limit.
-	s.cell.Place(best.Machine, s.takeResident(t.Key, trace.Resources{}, t.Job.Priority, t.Job.Tier))
+	res := s.takeResident(t.Key, trace.Resources{}, t.Job.Priority, t.Job.Tier)
+	res.Task = t
+	s.cell.Place(best.Machine, res)
 	s.stats.TasksPlaced++
 	s.startRunning(t, best.Machine)
 }

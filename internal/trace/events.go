@@ -213,6 +213,14 @@ func (m MultiSink) Usage(rec UsageRecord) {
 	}
 }
 
+// UsageBatch forwards the block to all children: one call for children
+// that batch, record by record for the rest.
+func (m MultiSink) UsageBatch(recs []UsageRecord) {
+	for _, s := range m {
+		EmitUsageBatch(s, recs)
+	}
+}
+
 // MachineEvent forwards to all children.
 func (m MultiSink) MachineEvent(ev MachineEvent) {
 	for _, s := range m {
@@ -231,6 +239,9 @@ func (NopSink) InstanceEvent(InstanceEvent) {}
 
 // Usage discards the row.
 func (NopSink) Usage(UsageRecord) {}
+
+// UsageBatch discards the block.
+func (NopSink) UsageBatch([]UsageRecord) {}
 
 // MachineEvent discards the row.
 func (NopSink) MachineEvent(MachineEvent) {}

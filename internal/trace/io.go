@@ -212,6 +212,17 @@ func (s *DirSink) InstanceEvent(ev InstanceEvent) { s.write(tabInstance, instanc
 // Usage writes the row.
 func (s *DirSink) Usage(rec UsageRecord) { s.write(tabUsage, usageRow(rec)) }
 
+// UsageBatch writes the block in order through the codec path, checking
+// the sticky error once instead of per row.
+func (s *DirSink) UsageBatch(recs []UsageRecord) {
+	if s.err != nil || s.closed {
+		return
+	}
+	for i := range recs {
+		s.write(tabUsage, usageRow(recs[i]))
+	}
+}
+
 // MachineEvent writes the row.
 func (s *DirSink) MachineEvent(ev MachineEvent) { s.write(tabMachine, machineEventRow(ev)) }
 

@@ -15,6 +15,38 @@ type Flusher interface {
 	Flush()
 }
 
+// UsageBatcher is an optional Sink capability: delivery of a whole block
+// of usage records in one call. The usage table dominates trace volume,
+// so hot emitters (the per-window sampler, BufferedSink's flush) hand
+// over one slice per block instead of paying an interface dispatch per
+// record.
+//
+// Contract: the batch is ordered — UsageBatch(recs) must be
+// indistinguishable from calling Usage(recs[0]), Usage(recs[1]), … in
+// sequence, so scalar and batched delivery of the same stream produce
+// identical state and bytes. The callee must not retain or modify the
+// slice after returning: emitters reuse the backing array for the next
+// block.
+type UsageBatcher interface {
+	UsageBatch(recs []UsageRecord)
+}
+
+// EmitUsageBatch delivers a block of usage records to s, in one call
+// when s implements UsageBatcher and record by record otherwise. Either
+// way the records arrive in slice order.
+func EmitUsageBatch(s Sink, recs []UsageRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if ub, ok := s.(UsageBatcher); ok {
+		ub.UsageBatch(recs)
+		return
+	}
+	for i := range recs {
+		s.Usage(recs[i])
+	}
+}
+
 // Flush drains s if it buffers, and recurses into fan-out sinks so an
 // entire pipeline can be drained with one call at end of simulation.
 func Flush(s Sink) {
@@ -69,6 +101,10 @@ func FanOut(sinks ...Sink) Sink {
 type BufferedSink struct {
 	out   Sink
 	limit int
+	// outBatcher is out's UsageBatcher capability, asserted once at
+	// construction: batch-capable downstreams take usage blocks straight
+	// through instead of being re-buffered (see UsageBatch).
+	outBatcher UsageBatcher
 
 	coll  []CollectionEvent
 	inst  []InstanceEvent
@@ -85,7 +121,9 @@ func NewBufferedSink(out Sink, batch int) *BufferedSink {
 	if batch <= 0 {
 		batch = DefaultBatchSize
 	}
-	return &BufferedSink{out: out, limit: batch}
+	b := &BufferedSink{out: out, limit: batch}
+	b.outBatcher, _ = out.(UsageBatcher)
+	return b
 }
 
 // CollectionEvent buffers the row.
@@ -107,6 +145,28 @@ func (b *BufferedSink) InstanceEvent(ev InstanceEvent) {
 // Usage buffers the row.
 func (b *BufferedSink) Usage(rec UsageRecord) {
 	b.usage = append(b.usage, rec)
+	if len(b.usage) >= b.limit {
+		b.flushUsage()
+	}
+}
+
+// UsageBatch buffers a whole block of usage rows, flushing once if the
+// buffer reaches its limit. Records stay in delivery order, so scalar
+// and batched delivery drain downstream identically. When the downstream
+// itself takes blocks, re-buffering would only copy every row once more:
+// any scalar stragglers are drained first to keep row order, then the
+// block is handed straight through (the downstream must not retain it,
+// per the UsageBatcher contract, so the emitter's reuse guarantee holds
+// across the forward).
+func (b *BufferedSink) UsageBatch(recs []UsageRecord) {
+	if b.outBatcher != nil {
+		if len(b.usage) > 0 {
+			b.flushUsage()
+		}
+		b.outBatcher.UsageBatch(recs)
+		return
+	}
+	b.usage = append(b.usage, recs...)
 	if len(b.usage) >= b.limit {
 		b.flushUsage()
 	}
@@ -145,9 +205,7 @@ func (b *BufferedSink) flushInstances() {
 }
 
 func (b *BufferedSink) flushUsage() {
-	for i := range b.usage {
-		b.out.Usage(b.usage[i])
-	}
+	EmitUsageBatch(b.out, b.usage)
 	b.usage = b.usage[:0]
 }
 
@@ -189,6 +247,13 @@ func (s *SyncSink) Usage(rec UsageRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.out.Usage(rec)
+}
+
+// UsageBatch forwards the block downstream under one lock acquisition.
+func (s *SyncSink) UsageBatch(recs []UsageRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	EmitUsageBatch(s.out, recs)
 }
 
 // MachineEvent forwards under the lock.
@@ -243,6 +308,9 @@ func (c *CountingSink) InstanceEvent(InstanceEvent) { c.counts.Instances++ }
 
 // Usage counts the row.
 func (c *CountingSink) Usage(UsageRecord) { c.counts.Usage++ }
+
+// UsageBatch counts the whole block at once.
+func (c *CountingSink) UsageBatch(recs []UsageRecord) { c.counts.Usage += int64(len(recs)) }
 
 // MachineEvent counts the row.
 func (c *CountingSink) MachineEvent(MachineEvent) { c.counts.Machines++ }

@@ -58,6 +58,11 @@ func (t *MemTrace) Usage(rec UsageRecord) {
 	t.UsageRecords = append(t.UsageRecords, rec)
 }
 
+// UsageBatch stores a whole block of rows with one append.
+func (t *MemTrace) UsageBatch(recs []UsageRecord) {
+	t.UsageRecords = append(t.UsageRecords, recs...)
+}
+
 // MachineEvent stores the row.
 func (t *MemTrace) MachineEvent(ev MachineEvent) {
 	t.MachineEvents = append(t.MachineEvents, ev)

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// scalarRecorder retains rows like MemTrace but implements only the four
+// scalar Sink methods, so EmitUsageBatch must fall back to the per-record
+// loop. It is the test double for pre-batching downstream sinks.
+type scalarRecorder struct {
+	usage []UsageRecord
+	other int
+}
+
+func (r *scalarRecorder) CollectionEvent(CollectionEvent) { r.other++ }
+func (r *scalarRecorder) InstanceEvent(InstanceEvent)     { r.other++ }
+func (r *scalarRecorder) Usage(rec UsageRecord)           { r.usage = append(r.usage, rec) }
+func (r *scalarRecorder) MachineEvent(MachineEvent)       { r.other++ }
+
+// usageBlock builds n distinguishable records starting at ordinal base.
+func usageBlock(base, n int) []UsageRecord {
+	recs := make([]UsageRecord, n)
+	for i := range recs {
+		t := sim.Time(base+i) * sim.Minute
+		recs[i] = UsageRecord{
+			Start: t, End: t + sim.Minute,
+			Key:      InstanceKey{Collection: CollectionID(base + i), Index: int32(i)},
+			Machine:  MachineID(base + i),
+			AvgUsage: Resources{CPU: float64(base + i)},
+		}
+	}
+	return recs
+}
+
+func TestEmitUsageBatchScalarFallback(t *testing.T) {
+	rec := &scalarRecorder{}
+	EmitUsageBatch(rec, nil)
+	EmitUsageBatch(rec, []UsageRecord{})
+	if len(rec.usage) != 0 {
+		t.Fatalf("empty batch delivered %d rows", len(rec.usage))
+	}
+	block := usageBlock(0, 7)
+	EmitUsageBatch(rec, block)
+	if !reflect.DeepEqual(rec.usage, block) {
+		t.Fatal("scalar fallback lost or reordered rows")
+	}
+}
+
+// TestMultiSinkUsageBatchFansOutInOrder drives one batch stream through a
+// fan-out with a batch-capable child, a scalar-only child and a counter:
+// every child must see exactly the scalar-delivered stream.
+func TestMultiSinkUsageBatchFansOutInOrder(t *testing.T) {
+	batcher := NewMemTrace(Meta{})
+	scalar := &scalarRecorder{}
+	counter := &CountingSink{}
+	s := FanOut(batcher, scalar, counter)
+
+	want := NewMemTrace(Meta{})
+	for _, n := range []int{3, 1, 5} {
+		block := usageBlock(len(want.UsageRecords), n)
+		EmitUsageBatch(s, block)
+		for _, r := range block {
+			want.Usage(r)
+		}
+	}
+	if !reflect.DeepEqual(batcher.UsageRecords, want.UsageRecords) {
+		t.Fatal("batch-capable child diverged from scalar delivery")
+	}
+	if !reflect.DeepEqual(scalar.usage, want.UsageRecords) {
+		t.Fatal("scalar-only child diverged from scalar delivery")
+	}
+	if got := counter.Counts().Usage; got != int64(len(want.UsageRecords)) {
+		t.Fatalf("counter saw %d rows, want %d", got, len(want.UsageRecords))
+	}
+}
+
+// TestBufferedSinkUsageBatchBuffersForScalarDownstream checks the
+// re-buffering path (downstream without UsageBatch): blocks and scalar
+// rows interleave in delivery order, the limit still triggers flushes,
+// Flush drains the tail, and the sink copies blocks rather than aliasing
+// the caller's reusable backing array.
+func TestBufferedSinkUsageBatchBuffersForScalarDownstream(t *testing.T) {
+	down := &scalarRecorder{}
+	bs := NewBufferedSink(down, 8)
+
+	var want []UsageRecord
+	buf := make([]UsageRecord, 0, 16)
+	emit := func(base, n int) {
+		block := append(buf[:0], usageBlock(base, n)...)
+		want = append(want, block...)
+		bs.UsageBatch(block)
+		// The emitter owns the array again after UsageBatch returns;
+		// scribbling over it must not reach the downstream rows.
+		for i := range block {
+			block[i] = UsageRecord{Machine: -1}
+		}
+	}
+
+	emit(0, 3)
+	bs.Usage(usageBlock(3, 1)[0])
+	want = append(want, usageBlock(3, 1)[0])
+	if len(down.usage) != 0 {
+		t.Fatalf("flushed below limit: %d rows downstream", len(down.usage))
+	}
+	emit(4, 6) // crosses the limit of 8 → one flush of everything so far
+	if len(down.usage) != 10 {
+		t.Fatalf("limit flush delivered %d rows, want 10", len(down.usage))
+	}
+	emit(10, 2) // tail stays buffered
+	bs.Flush()
+	bs.Flush() // idempotent
+	if !reflect.DeepEqual(down.usage, want) {
+		t.Fatal("buffered batch delivery lost, reordered or aliased rows")
+	}
+}
+
+// TestBufferedSinkUsageBatchPassthrough checks the passthrough path
+// (downstream with UsageBatch): blocks are forwarded immediately, scalar
+// stragglers buffered beforehand are drained first so row order is
+// preserved, and Flush still drains scalar tails.
+func TestBufferedSinkUsageBatchPassthrough(t *testing.T) {
+	down := NewMemTrace(Meta{})
+	bs := NewBufferedSink(down, 1000)
+
+	straggler := usageBlock(0, 1)[0]
+	bs.Usage(straggler)
+	if len(down.UsageRecords) != 0 {
+		t.Fatal("scalar row bypassed the buffer")
+	}
+	block := usageBlock(1, 4)
+	bs.UsageBatch(block)
+	if len(down.UsageRecords) != 5 {
+		t.Fatalf("passthrough delivered %d rows, want straggler+block = 5", len(down.UsageRecords))
+	}
+	want := append([]UsageRecord{straggler}, block...)
+	if !reflect.DeepEqual(down.UsageRecords, want) {
+		t.Fatal("straggler/block order not preserved")
+	}
+
+	tail := usageBlock(5, 1)[0]
+	bs.Usage(tail)
+	bs.Flush()
+	if !reflect.DeepEqual(down.UsageRecords, append(want, tail)) {
+		t.Fatal("Flush lost the scalar tail after a passthrough")
+	}
+}
