@@ -21,6 +21,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/rng"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -353,6 +354,45 @@ func BenchmarkManyCellSuite(b *testing.B) {
 	peakMB := float64(peak) / 1e6
 	b.ReportMetric(peakMB, "peak-heap-MB")
 	b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+	if peakMB > heapCeiling {
+		b.Fatalf("peak heap %.0f MB exceeds the %d MB ceiling", peakMB, int(heapCeiling))
+	}
+}
+
+// BenchmarkFleetRollup is the warehouse-scale federation smoke: a
+// 128-cell fleet — profiles sampled around the 2019 medians per cell —
+// streamed through engine.RunStream with one reducer per cell and the
+// usage-noise fast path on, rolled up online into cross-cell t-digest
+// percentiles. Peak heap must stay under the CI streaming guard's
+// 1536 MB ceiling: released reducers and O(Parallelism) in-flight cells
+// keep the footprint flat in fleet size. Minutes-long, so gated behind
+// FLEET_SMOKE=1 (the CI fleet-smoke job sets it).
+func BenchmarkFleetRollup(b *testing.B) {
+	if os.Getenv("FLEET_SMOKE") != "1" {
+		b.Skip("set FLEET_SMOKE=1 to run the fleet rollup benchmark")
+	}
+	const heapCeiling = 1536.0 // MB, matching the CI memory-ceiling gate
+	cfg := fleet.Config{
+		Cells:          128,
+		MedianMachines: 60,
+		Horizon:        2 * sim.Hour,
+		Seed:           29,
+		UsageNoiseFast: true,
+	}
+	b.ResetTimer()
+	var machines int
+	peak := experiments.PeakHeapDuring(func() {
+		for i := 0; i < b.N; i++ {
+			rep := fleet.Run(cfg)
+			machines = rep.TotalMachines
+			if len(rep.Rollup) == 0 || rep.Rollup[0].Name != "cpu_util" || rep.Rollup[0].P50 <= 0 {
+				b.Fatalf("fleet rollup malformed: %+v", rep.Rollup)
+			}
+		}
+	})
+	peakMB := float64(peak) / 1e6
+	b.ReportMetric(peakMB, "peak-heap-MB")
+	b.ReportMetric(float64(machines), "machines")
 	if peakMB > heapCeiling {
 		b.Fatalf("peak heap %.0f MB exceeds the %d MB ceiling", peakMB, int(heapCeiling))
 	}

@@ -24,8 +24,13 @@
 // Usage:
 //
 //	borgexperiments [-scale small|default|large] [-seed N] [-parallel N]
-//	                [-policy NAME] [-stream] [-export DIR] [-o report.txt]
+//	                [-policy NAME] [-stream] [-export DIR] [-progress]
+//	                [-o report.txt]
 //	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -progress prints live cells-done / in-flight / ETA lines to stderr;
+// peak HeapAlloc over the run is always reported, so the streaming
+// path's memory claims are observable outside benchmarks.
 //
 // -policy overrides every cell's placement policy (see the scheduler
 // policy zoo: random-fit, best-fit, least-allocated, worst-fit, oversub,
@@ -56,6 +61,7 @@ func main() {
 	policy := flag.String("policy", "", "override every cell's placement policy ("+
 		strings.Join(scheduler.PolicyNames(), ", ")+"); empty keeps era defaults")
 	stream := flag.Bool("stream", false, "run with NoMemTrace: fold rows through streaming reducers instead of retaining traces (same report bytes)")
+	progressFlag := flag.Bool("progress", false, "print live progress (cells done / in flight / ETA) to stderr")
 	export := flag.String("export", "", "write per-cell CSV trace shards to this directory while simulating (implies -stream)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -94,6 +100,9 @@ func main() {
 	if *export != "" {
 		*stream = true
 	}
+	if *progressFlag {
+		sc.Progress = os.Stderr
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -122,19 +131,22 @@ func main() {
 	}
 
 	var report func(io.Writer) error
-	if *stream {
-		suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{ExportDir: *export})
-		if err != nil {
-			log.Fatal(err)
+	peak := experiments.PeakHeapDuring(func() {
+		if *stream {
+			suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{ExportDir: *export})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *export != "" {
+				log.Printf("wrote 9 CSV shards under %s", *export)
+			}
+			report = suite.WriteReport
+		} else {
+			report = experiments.RunSuite(sc).WriteReport
 		}
-		if *export != "" {
-			log.Printf("wrote 9 CSV shards under %s", *export)
-		}
-		report = suite.WriteReport
-	} else {
-		report = experiments.RunSuite(sc).WriteReport
-	}
-	fmt.Fprintf(w, "simulated 9 cells in %v\n\n", time.Since(start).Round(time.Millisecond))
+	})
+	fmt.Fprintf(w, "simulated 9 cells in %v (peak heap %.0f MB)\n\n",
+		time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
 	if err := report(w); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,143 @@
+// Command borgfleet runs warehouse-scale federations: N synthetic cells
+// sampled around the paper's 2019 medians (machine count, arrival rate,
+// tier mix per cell), simulated in one process on the engine's worker
+// pool with bounded memory, and rolled up online into fleet-level
+// cross-cell percentiles (p50/p90/p99 per scalar metric).
+//
+// Every cell runs with NoMemTrace and one streaming reducer; cell specs
+// materialize only as workers pick them up and are released as soon as
+// their scalars fold into the rollup, so peak memory is O(-parallel)
+// cells regardless of fleet size. Cell i of a fleet rooted at -seed R
+// simulates with engine.DeriveSeed(R, i): the fleet report and CSVs are
+// byte-identical at any -parallel setting, and cell i's world never
+// depends on the fleet size, so fleets are CRN-comparable across knob
+// changes.
+//
+// Usage:
+//
+//	borgfleet [-cells N] [-machines N] [-hours H] [-seed N] [-parallel N]
+//	          [-fastnoise] [-progress] [-o report.txt] [-cells-csv FILE]
+//	          [-rollup-csv FILE]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -fastnoise enables the usage sampler's table-based noise fast path in
+// every cell (core.Options.UsageNoiseFast — a versioned trace bump:
+// cheaper sampling, statistically equivalent scalars, different trace
+// bytes than the exact path). Peak HeapAlloc is always reported so the
+// bounded-memory claim is observable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/profiling"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("borgfleet: ")
+	cells := flag.Int("cells", 128, "fleet size (number of synthetic cells)")
+	machines := flag.Int("machines", 60, "median machines per cell (lognormal across the fleet)")
+	hours := flag.Float64("hours", 4, "simulated horizon per cell, in hours")
+	seed := flag.Uint64("seed", 1, "fleet root seed")
+	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
+	fastNoise := flag.Bool("fastnoise", false, "enable the usage-noise table fast path (versioned trace bump; same scalars statistically)")
+	progressFlag := flag.Bool("progress", false, "print live progress (cells done / in flight / ETA) to stderr")
+	out := flag.String("o", "", "write the fleet report to this file instead of stdout")
+	cellsCSV := flag.String("cells-csv", "", "stream per-cell scalar rows to this CSV file")
+	rollupCSV := flag.String("rollup-csv", "", "write the cross-cell rollup to this CSV file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.Parse()
+
+	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	cfg := fleet.Config{
+		Cells:          *cells,
+		MedianMachines: *machines,
+		Horizon:        sim.FromHours(*hours),
+		Seed:           *seed,
+		Parallelism:    *parallel,
+		UsageNoiseFast: *fastNoise,
+	}
+	if *progressFlag {
+		cfg.Progress = os.Stderr
+	}
+
+	var cellWriter *fleet.CellCSV
+	if *cellsCSV != "" {
+		f, err := os.Create(*cellsCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cellWriter = fleet.NewCellCSV(f)
+		cfg.OnCell = cellWriter.Cell
+	}
+
+	effective := *parallel
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("simulating %d cells (median %d machines, %gh horizon), parallelism %d",
+		*cells, *machines, *hours, effective)
+
+	start := time.Now()
+	var rep *fleet.Report
+	peak := experiments.PeakHeapDuring(func() {
+		rep = fleet.Run(cfg)
+	})
+	log.Printf("simulated %d cells (%d machines) in %v (peak heap %.0f MB)",
+		rep.Cells, rep.TotalMachines, time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
+
+	if cellWriter != nil {
+		if err := cellWriter.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote per-cell scalars to %s", *cellsCSV)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w)
+	if err := rep.WriteText(w); err != nil {
+		log.Fatal(err)
+	}
+	if *rollupCSV != "" {
+		f, err := os.Create(*rollupCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote rollup to %s", *rollupCSV)
+	}
+}

@@ -19,8 +19,12 @@
 // Usage:
 //
 //	borgsweep [-scale small|default|large] [-seed N] [-seeds N]
-//	          [-variants SPEC] [-parallel N] [-o report.txt] [-csv DIR]
+//	          [-variants SPEC] [-parallel N] [-progress]
+//	          [-o report.txt] [-csv DIR]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -progress prints live grid-points-done / in-flight / ETA lines to
+// stderr; peak HeapAlloc over the sweep is always reported.
 //
 // where SPEC is semicolon-separated clauses: "baseline", a numeric
 // family "family:v1,v2,..." (arrival, machines, overcommit,
@@ -60,6 +64,7 @@ func main() {
 		"variant spec: semicolon-separated clauses — numeric families (arrival, machines, overcommit, allocceiling, prodshift), "+
 			"placement policies (policy:best-fit,...; see scheduler zoo), named composites (name:policy=oversub,arrival=1.5) or baseline")
 	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
+	progressFlag := flag.Bool("progress", false, "print live progress (grid points done / in flight / ETA) to stderr")
 	out := flag.String("o", "", "write the sweep report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "export per-metric and summary CSVs to this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep to this file")
@@ -94,6 +99,9 @@ func main() {
 		log.Fatal(err)
 	}
 	def := sweep.Def{Scale: sc, Seeds: *seeds, Variants: variants, Parallelism: *parallel}
+	if *progressFlag {
+		def.Progress = os.Stderr
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -113,11 +121,15 @@ func main() {
 		*seeds, len(variants), sc.Name, *seeds*len(variants)*9, effective)
 
 	start := time.Now()
-	res, err := sweep.Run(def)
+	var res *sweep.Result
+	peak := experiments.PeakHeapDuring(func() {
+		res, err = sweep.Run(def)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("simulated %d cells in %v", *seeds*len(variants)*res.Cells, time.Since(start).Round(time.Millisecond))
+	log.Printf("simulated %d cells in %v (peak heap %.0f MB)",
+		*seeds*len(variants)*res.Cells, time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
 
 	fmt.Fprintf(w, "Borg: the Next Generation — parameter-sweep report\n\n")
 	if err := res.WriteReport(w); err != nil {

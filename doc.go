@@ -56,6 +56,12 @@
 //     × cell grids with common-random-numbers seeding, per-point
 //     streaming reducers, and cross-seed statistics (mean, stddev, 95%
 //     CI per variant × metric), reported by cmd/borgsweep.
+//   - internal/fleet — warehouse-scale federation: O(100) synthetic
+//     cells profile-sampled around the 2019 medians, streamed through
+//     one engine pool with bounded memory and rolled up online into
+//     fleet-level cross-cell percentiles (internal/stats t-digests),
+//     reported by cmd/borgfleet. internal/progress supplies the live
+//     progress reporter shared by all three CLIs.
 //
 // # Placement fast path
 //
@@ -143,6 +149,44 @@
 // delivery produce byte-identical reports and CSV export shards at any
 // parallelism — CI pins that with a differential test that forces the
 // scalar path through an interposer and diffs the bytes.
+//
+// What remains of the window cost after those two halves is mostly
+// random-number arithmetic: each resident draws two lognormal noise
+// factors, classically two Box–Muller normals plus two math.Exp calls.
+// core.Options.UsageNoiseFast replaces that with a 1024-entry stratified
+// inverse-CDF table per resource (midpoint quantiles via
+// dist.InvNormCDF, rescaled so the table mean is exactly the
+// lognormal's), indexed by disjoint bit fields of a single Uint64 draw.
+// The fast path is off by default because it is a versioned trace bump:
+// same-seed traces differ byte-for-byte from the exact path (CI pins
+// the default path's bytes), while the scalar distributions remain
+// statistically equivalent — a differential test bounds the drift of
+// the utilization scalars, and the benchmark gate holds the measured
+// window speedup.
+//
+// # Fleet federation
+//
+// internal/fleet scales the engine from the paper's nine-cell suite to
+// warehouse footprints: fleet.Run expands a Config (cell count, median
+// machine count, horizon, root seed) into O(100) synthetic cells whose
+// profiles are lognormal-sampled around the calibrated 2019 medians —
+// machine count, arrival rate, tier mix and diurnal phase all vary
+// per cell — and streams them through one engine worker pool via
+// engine.RunStream. Specs materialize only as workers pick them up;
+// every cell runs with NoMemTrace plus one streaming.CellReducer, and
+// each cell's scalars fold into the fleet rollup (one merging
+// stats.Digest per metric) the moment its in-order result delivers,
+// after which the reducer is released. Peak heap is therefore
+// O(Parallelism) cells regardless of fleet size — the 128-cell CI smoke
+// runs in a few MB against a 1536 MB ceiling. Determinism follows the
+// engine contract: cell i simulates with engine.DeriveSeed(root, i) and
+// a profile drawn from that seed's own splitter, so the report, rollup
+// CSV and per-cell CSV are byte-identical at any parallelism and cell
+// i's world never depends on the fleet size (fleets are CRN-comparable
+// across knob changes). cmd/borgfleet drives it:
+//
+//	borgfleet -cells 128 -machines 60 -hours 4 -progress \
+//	  -rollup-csv rollup.csv -cells-csv cells.csv
 //
 // # Parameter sweeps
 //

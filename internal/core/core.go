@@ -53,6 +53,17 @@ type Options struct {
 	// DisableAutopilot turns vertical scaling off even for jobs marked
 	// as autoscaled (ablation support).
 	DisableAutopilot bool
+	// UsageNoiseFast replaces the usage sampler's two per-resident
+	// lognormal noise draws (math.Exp over Box–Muller normals) with one
+	// 64-bit draw indexing a stratified inverse-CDF lookup table — the
+	// same marginal distribution to table resolution, with the table mean
+	// normalized to the exact lognormal mean (see noiseTable). It is OFF
+	// by default because it changes the randomness consumption sequence:
+	// enabling it is a versioned trace bump — same-seed traces differ
+	// from the exact path byte-for-byte, while scalar figure metrics stay
+	// statistically equivalent (pinned by test). Fleet-scale runs enable
+	// it to cheapen the sampler's dominant remaining cost.
+	UsageNoiseFast bool
 	// Policy, when non-empty, overrides the profile's placement policy by
 	// canonical name (see scheduler.ParsePolicy). Run panics on an unknown
 	// name, like it would on any other malformed static configuration.
@@ -179,7 +190,8 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	// Usage sampling every 5 minutes, plus partial-window records when
 	// tasks stop between samples (so sub-window mice show up in the
 	// usage table, as they do in the real trace).
-	sampler := newUsageSampler(p, cell, sched, ap, sink, root.Split("usage"), opts.Histograms)
+	sampler := newUsageSampler(p, cell, sched, ap, sink, root.Split("usage"),
+		opts.Histograms, opts.UsageNoiseFast)
 	sampler.k = k
 	sched.UnplaceHook = sampler.taskStopped
 	k.Every(sim.SampleWindow, sim.SampleWindow, opts.Horizon, func(now sim.Time) {
@@ -220,6 +232,9 @@ type usageSampler struct {
 	src        *rng.Source
 	k          *sim.Kernel
 	histograms bool
+	// noise is non-nil iff Options.UsageNoiseFast: the stratified lookup
+	// pair that stands in for the exact lognormal draws.
+	noise *noiseTable
 	// obsBuf is the per-machine observation scratch, reused every window
 	// so steady-state sampling does not allocate.
 	obsBuf []obs
@@ -247,18 +262,34 @@ type usageSampler struct {
 }
 
 func newUsageSampler(p *workload.CellProfile, cell *cluster.Cell, sched *scheduler.Scheduler,
-	ap *autopilot.Autopilot, sink trace.Sink, src *rng.Source, histograms bool) *usageSampler {
+	ap *autopilot.Autopilot, sink trace.Sink, src *rng.Source, histograms, fastNoise bool) *usageSampler {
 	u := &usageSampler{
 		p: p, cell: cell, sched: sched, ap: ap, sink: sink, src: src,
 		histograms: histograms,
 		partialCPU: make(map[trace.MachineID]float64),
 		partialMem: make(map[trace.MachineID]float64),
 	}
+	if fastNoise {
+		u.noise = newNoiseTable(p.UsageNoiseSigma)
+	}
 	if ap != nil {
 		u.trackSeen = make(map[trace.InstanceKey]uint64)
 	}
 	u.batcher, _ = sink.(trace.UsageBatcher)
 	return u
+}
+
+// usageNoise returns the multiplicative (CPU, memory) noise pair for one
+// resident-window observation: the exact lognormal draws by default, or
+// the stratified table draw when Options.UsageNoiseFast is set. The
+// exact branch is byte-for-byte the PR 7 randomness sequence.
+func (u *usageSampler) usageNoise() (noiseC, noiseM float64) {
+	if u.noise != nil {
+		return u.noise.draw(u.src)
+	}
+	noiseC = math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
+	noiseM = math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
+	return noiseC, noiseM
 }
 
 // sample emits one 5-minute window of usage records ending at now. It
@@ -298,8 +329,7 @@ func (u *usageSampler) sample(now sim.Time) {
 			if t == nil || t.State != scheduler.TaskRunning || t.Machine != mid {
 				continue
 			}
-			noiseC := math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
-			noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
+			noiseC, noiseM := u.usageNoise()
 			avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
 			peakJitter := 1 + (t.PeakFact-1)*(0.7+0.6*u.src.Float64())
 			cpuSum += avg.CPU
@@ -436,8 +466,7 @@ func (u *usageSampler) taskStopped(t *scheduler.Task, runStart sim.Time) {
 	if m == nil {
 		return
 	}
-	noiseC := math.Exp(u.p.UsageNoiseSigma * u.src.NormFloat64())
-	noiseM := math.Exp(u.p.UsageNoiseSigma * 0.3 * u.src.NormFloat64())
+	noiseC, noiseM := u.usageNoise()
 	avg := trace.Resources{CPU: t.MeanCPU * noiseC, Mem: t.MeanMem * noiseM}
 	// The machine's window capacity not already claimed by earlier
 	// partial records bounds what this record may report.

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// noiseTableBits sets the resolution of the fast usage-noise lookup:
+// 2^10 strata per marginal, which keeps the table pair inside 16 KB (two
+// cache-resident float64 arrays) while bounding each stratum to under
+// 0.1% of probability mass.
+const noiseTableBits = 10
+
+// noiseTableSize is the number of strata per table.
+const noiseTableSize = 1 << noiseTableBits
+
+// noiseTable is the UsageNoiseFast lookup pair: stratified inverse-CDF
+// tables for the CPU noise lognormal exp(σ·N(0,1)) and the memory noise
+// lognormal exp(0.3σ·N(0,1)). Entry i holds the lognormal quantile at
+// the stratum midpoint (i+0.5)/N, and each table is rescaled so its
+// arithmetic mean equals the exact lognormal mean exp(σ²/2) — the
+// moment the utilization scalars integrate over, so the fast path stays
+// unbiased even though the tails are clipped at the outermost strata.
+//
+// A draw consumes one 64-bit variate and splits it into two independent
+// 10-bit indices (xoshiro256** output bits are jointly equidistributed),
+// replacing two Box–Muller normals and two math.Exp calls per resident
+// per window. The table is built once per sampler at construction, so
+// steady-state sampling stays allocation-free.
+type noiseTable struct {
+	c [noiseTableSize]float64 // CPU noise: lognormal σ
+	m [noiseTableSize]float64 // memory noise: lognormal 0.3σ
+}
+
+// newNoiseTable builds the lookup pair for the profile's UsageNoiseSigma.
+func newNoiseTable(sigma float64) *noiseTable {
+	t := &noiseTable{}
+	fillNoiseStrata(t.c[:], sigma)
+	fillNoiseStrata(t.m[:], sigma*0.3)
+	return t
+}
+
+// fillNoiseStrata populates tab[i] = exp(sigma·Φ⁻¹((i+0.5)/N)) and
+// rescales so mean(tab) = exp(sigma²/2) exactly.
+func fillNoiseStrata(tab []float64, sigma float64) {
+	n := float64(len(tab))
+	sum := 0.0
+	for i := range tab {
+		p := (float64(i) + 0.5) / n
+		tab[i] = math.Exp(sigma * dist.InvNormCDF(p))
+		sum += tab[i]
+	}
+	scale := math.Exp(sigma*sigma/2) * n / sum
+	for i := range tab {
+		tab[i] *= scale
+	}
+}
+
+// draw returns one (CPU, memory) noise pair from a single 64-bit variate:
+// the top 10 bits index the CPU table, the next 10 the memory table.
+func (t *noiseTable) draw(src *rng.Source) (noiseC, noiseM float64) {
+	bits := src.Uint64()
+	return t.c[bits>>(64-noiseTableBits)],
+		t.m[(bits>>(64-2*noiseTableBits))&(noiseTableSize-1)]
+}

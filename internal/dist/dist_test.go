@@ -180,3 +180,49 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestInvNormCDF(t *testing.T) {
+	// Known two-sided z-scores and symmetric reference points.
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963985},
+		{0.025, -1.959963985},
+		{0.84134474606854293, 1}, // Φ(1)
+		{0.15865525393145707, -1},
+		{0.99865010196836990, 3}, // Φ(3)
+		{0.9999, 3.719016485},
+		{0.0001, -3.719016485},
+	}
+	for _, c := range cases {
+		got := InvNormCDF(c.p)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("InvNormCDF(%v) = %.9f, want %.9f", c.p, got, c.want)
+		}
+	}
+	// Round trip against the normal CDF across the unit interval.
+	for p := 0.001; p < 1; p += 0.007 {
+		z := InvNormCDF(p)
+		back := 0.5 * math.Erfc(-z/math.Sqrt2)
+		if math.Abs(back-p) > 1e-12 {
+			t.Fatalf("round trip at p=%v: Φ(Φ⁻¹(p)) = %v", p, back)
+		}
+	}
+	if !math.IsInf(InvNormCDF(0), -1) || !math.IsInf(InvNormCDF(1), 1) {
+		t.Error("endpoints must map to ±Inf")
+	}
+	if !math.IsNaN(InvNormCDF(-0.1)) || !math.IsNaN(InvNormCDF(1.1)) {
+		t.Error("out-of-range p must map to NaN")
+	}
+}
+
+func TestLogNormalQuantile(t *testing.T) {
+	l := LogNormalFromMedian(2.0, 0.5)
+	if got := l.Quantile(0.5); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("median quantile %v, want 2", got)
+	}
+	// p90 = median · exp(sigma · z90).
+	want := 2.0 * math.Exp(0.5*1.2815515655446004)
+	if got := l.Quantile(0.9); math.Abs(got-want) > 1e-6 {
+		t.Errorf("p90 %v, want %v", got, want)
+	}
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// consumption ahead of Run returning. Calls are serialized; a slow
 	// callback backpressures result delivery but not simulation.
 	OnResult func(index int, res *core.CellResult)
+	// OnStart, when set, is invoked as a worker begins simulating a cell —
+	// the hook progress reporters count in-flight cells with. Unlike
+	// OnResult it is NOT serialized or ordered: calls arrive concurrently
+	// from worker goroutines, so the callback must be safe for concurrent
+	// use and should return quickly.
+	OnStart func(index int)
 }
 
 // DeriveSeed maps a run's root seed and a cell index to the cell's
@@ -117,7 +123,27 @@ func AttachSinks(specs []Spec, make func(i int) trace.Sink) {
 // Parallelism > 1 the cells run concurrently; results (and OnResult
 // callbacks) are still delivered in spec order.
 func Run(specs []Spec, opts Options) []*core.CellResult {
-	n := len(specs)
+	return run(len(specs), func(i int) Spec { return specs[i] }, opts, true)
+}
+
+// RunStream is Run for fleets too large to materialize: specs are built
+// lazily by spec(i) as workers pick up cell indices, and results are
+// released as soon as OnResult returns instead of being retained, so an
+// O(100)-cell run holds O(Parallelism) cells of state — not O(n) — as
+// long as the specs use NoMemTrace with streaming sinks. Everything else
+// matches Run: in-order OnResult delivery, concurrent OnStart, and
+// byte-identical output at any Parallelism. spec must be safe to call
+// concurrently for distinct indices (each index is requested exactly
+// once).
+func RunStream(n int, spec func(i int) Spec, opts Options) {
+	run(n, spec, opts, false)
+}
+
+// run is the shared pool: simulate cell indices [0, n) built by spec,
+// delivering results in index order. keep retains results for Run's
+// return value; RunStream drops each result after its callback so the
+// undelivered buffer is the only retained state.
+func run(n int, spec func(i int) Spec, opts Options, keep bool) []*core.CellResult {
 	results := make([]*core.CellResult, n)
 	if n == 0 {
 		return results
@@ -131,10 +157,17 @@ func Run(specs []Spec, opts Options) []*core.CellResult {
 	}
 
 	if par == 1 {
-		for i := range specs {
-			results[i] = core.Run(specs[i].Profile, specs[i].Options)
+		for i := 0; i < n; i++ {
+			if opts.OnStart != nil {
+				opts.OnStart(i)
+			}
+			s := spec(i)
+			res := core.Run(s.Profile, s.Options)
+			if keep {
+				results[i] = res
+			}
 			if opts.OnResult != nil {
-				opts.OnResult(i, results[i])
+				opts.OnResult(i, res)
 			}
 		}
 		return results
@@ -159,6 +192,9 @@ func Run(specs []Spec, opts Options) []*core.CellResult {
 		delivering = true
 		for next < n && results[next] != nil {
 			idx, r := next, results[next]
+			if !keep {
+				results[idx] = nil
+			}
 			next++
 			mu.Unlock()
 			if opts.OnResult != nil {
@@ -177,11 +213,15 @@ func Run(specs []Spec, opts Options) []*core.CellResult {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				deliver(i, core.Run(specs[i].Profile, specs[i].Options))
+				if opts.OnStart != nil {
+					opts.OnStart(i)
+				}
+				s := spec(i)
+				deliver(i, core.Run(s.Profile, s.Options))
 			}
 		}()
 	}
-	for i := range specs {
+	for i := 0; i < n; i++ {
 		work <- i
 	}
 	close(work)

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"reflect"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -170,6 +172,119 @@ func TestDeriveGridSeed(t *testing.T) {
 				t.Fatalf("seed collision: (%d,%d) and (%d,%d)", run, cell, prev[0], prev[1])
 			}
 			seen[s] = [2]int{run, cell}
+		}
+	}
+}
+
+// TestSlowOnResultStallsOnlyDeliveringWorker pins the delivery
+// invariant behind the drain loop: while one worker is stuck inside a
+// slow OnResult callback, the rest of the pool keeps simulating. The
+// callback for cell 0 refuses to return until every cell has reported
+// OnStart — which can only happen if the non-delivering worker kept
+// draining the queue.
+func TestSlowOnResultStallsOnlyDeliveringWorker(t *testing.T) {
+	const n = 4
+	started := make(chan int, n)
+	base := core.Options{Horizon: sim.Hour, NoMemTrace: true}
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = NewSpec(i, workload.Profile2019("a", 20), base, 5)
+	}
+	var order []int
+	Run(specs, Options{
+		Parallelism: 2,
+		OnStart:     func(i int) { started <- i },
+		OnResult: func(i int, res *core.CellResult) {
+			order = append(order, i)
+			if i != 0 {
+				return
+			}
+			deadline := time.After(30 * time.Second)
+			for seen := 0; seen < n; {
+				select {
+				case <-started:
+					seen++
+				case <-deadline:
+					t.Error("pool stalled: not every cell started while OnResult(0) was blocked")
+					return
+				}
+			}
+		},
+	})
+	if len(order) != n {
+		t.Fatalf("delivered %d results, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("out-of-order delivery under slow consumer: %v", order)
+		}
+	}
+}
+
+// TestRunStreamMatchesRun checks the streaming pool against the
+// materialized one: same per-cell row counts in the same order at
+// parallelism 1 and 8, with every cell's OnStart firing exactly once.
+func TestRunStreamMatchesRun(t *testing.T) {
+	const n = 6
+	base := core.Options{Horizon: sim.Hour, NoMemTrace: true}
+	mk := func(i int) Spec { return NewSpec(i, workload.Profile2019("a", 20), base, 11) }
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = mk(i)
+	}
+	want := Run(specs, Options{Parallelism: 1})
+	for _, par := range []int{1, 8} {
+		starts := make([]int32, n)
+		var order []int
+		var rows []trace.RowCounts
+		RunStream(n, mk, Options{
+			Parallelism: par,
+			OnStart:     func(i int) { atomic.AddInt32(&starts[i], 1) },
+			OnResult: func(i int, res *core.CellResult) {
+				order = append(order, i)
+				rows = append(rows, res.Rows)
+				if res.Trace != nil {
+					t.Errorf("par %d: RunStream retained a MemTrace for cell %d", par, i)
+				}
+			},
+		})
+		if len(order) != n {
+			t.Fatalf("par %d: delivered %d results, want %d", par, len(order), n)
+		}
+		for i := range order {
+			if order[i] != i {
+				t.Fatalf("par %d: out-of-order delivery %v", par, order)
+			}
+			if rows[i] != want[i].Rows {
+				t.Fatalf("par %d: cell %d rows %+v, want %+v", par, i, rows[i], want[i].Rows)
+			}
+			if starts[i] != 1 {
+				t.Fatalf("par %d: cell %d started %d times", par, i, starts[i])
+			}
+		}
+	}
+}
+
+// TestDeriveSeedFleetScaleDistinct extends the seed-contract coverage to
+// fleet-sized index ranges: thousands of cells per root, grid seeds
+// included, all pairwise distinct — a collision would silently correlate
+// two cells' worlds.
+func TestDeriveSeedFleetScaleDistinct(t *testing.T) {
+	seen := make(map[uint64]string, 20000)
+	record := func(s uint64, what string) {
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %s and %s", what, prev)
+		}
+		seen[s] = what
+	}
+	for _, root := range []uint64{1, 42} {
+		for cell := 0; cell < 4096; cell++ {
+			record(DeriveSeed(root, cell), "plain")
+		}
+	}
+	for run := 0; run < 16; run++ {
+		for cell := 0; cell < 512; cell++ {
+			record(DeriveGridSeed(7, run, cell), "grid")
 		}
 	}
 }

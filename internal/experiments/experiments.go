@@ -21,6 +21,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/progress"
 	"repro/internal/report"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -49,6 +50,22 @@ type Scale struct {
 	// profile's era default (2011: random-fit, 2019: least-allocated).
 	// SuiteProfiles panics on an unknown name.
 	Policy string
+	// Progress, when non-nil, receives live progress lines (cells done /
+	// in flight / ETA) while the suite simulates. Pure wall-clock
+	// reporting — it never changes the output.
+	Progress io.Writer
+}
+
+// engineOptions builds the suite's engine options: the scale's
+// parallelism plus progress hooks when Progress is set.
+func (sc Scale) engineOptions(cells int) engine.Options {
+	opts := engine.Options{Parallelism: sc.Parallelism}
+	if sc.Progress != nil {
+		prog := progress.New(sc.Progress, "suite", cells)
+		opts.OnStart = func(int) { prog.Start() }
+		opts.OnResult = func(int, *core.CellResult) { prog.Done() }
+	}
+	return opts
 }
 
 // SmallScale is quick enough for tests and benchmarks.
@@ -127,7 +144,8 @@ func SuiteSpecs(sc Scale) []engine.Spec {
 // cells at a time, retaining every cell's full trace in memory.
 func RunSuite(sc Scale) *Suite {
 	s := &Suite{Scale: sc}
-	results := engine.Run(SuiteSpecs(sc), engine.Options{Parallelism: sc.Parallelism})
+	specs := SuiteSpecs(sc)
+	results := engine.Run(specs, sc.engineOptions(len(specs)))
 	s.T2011 = results[0].Trace
 	s.Stats = append(s.Stats, *results[0])
 	for _, r := range results[1:] {

@@ -1,0 +1,88 @@
+// Package progress reports live completion state for multi-cell runs:
+// cells done, cells in flight, elapsed wall clock and a simple ETA. The
+// fleet runner drives it from the engine's OnStart/OnResult hooks, and
+// the suite and sweep binaries reuse it behind their -progress flags, so
+// every long-running front-end reports the same way.
+//
+// Reporting is wall-clock plumbing, deliberately outside the simulation
+// determinism boundary: a Reporter never touches simulation state and
+// its output carries no simulation randomness.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter prints single-line progress updates to a writer. It is safe
+// for concurrent use: Start arrives from engine worker goroutines while
+// Done arrives from the (serialized) delivery path.
+type Reporter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	label   string
+	total   int
+	started int
+	done    int
+	begin   time.Time
+	minGap  time.Duration
+	last    time.Time
+}
+
+// New returns a reporter for total units of work, labeled in output.
+// A nil writer yields a reporter that counts but never prints, so
+// callers can wire hooks unconditionally.
+func New(w io.Writer, label string, total int) *Reporter {
+	return &Reporter{
+		w: w, label: label, total: total,
+		begin: time.Now(), minGap: time.Second,
+	}
+}
+
+// Start records one unit entering execution.
+func (r *Reporter) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.started++
+	r.maybePrint(false)
+}
+
+// Done records one finished unit. The final unit always prints.
+func (r *Reporter) Done() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	r.maybePrint(r.done == r.total)
+}
+
+// Elapsed returns the wall-clock time since the reporter was created.
+func (r *Reporter) Elapsed() time.Duration { return time.Since(r.begin) }
+
+// maybePrint emits a progress line, rate-limited to one per minGap
+// unless force is set. Callers hold r.mu.
+func (r *Reporter) maybePrint(force bool) {
+	if r.w == nil {
+		return
+	}
+	now := time.Now()
+	if !force && now.Sub(r.last) < r.minGap {
+		return
+	}
+	r.last = now
+	elapsed := now.Sub(r.begin)
+	inFlight := r.started - r.done
+	line := fmt.Sprintf("%s: %d/%d done, %d in flight, %s elapsed",
+		r.label, r.done, r.total, inFlight, roundDuration(elapsed))
+	if r.done > 0 && r.done < r.total {
+		eta := time.Duration(float64(elapsed) / float64(r.done) * float64(r.total-r.done))
+		line += ", ETA " + roundDuration(eta).String()
+	}
+	fmt.Fprintln(r.w, line)
+}
+
+// roundDuration trims sub-100ms noise so progress lines stay readable.
+func roundDuration(d time.Duration) time.Duration {
+	return d.Round(100 * time.Millisecond)
+}

@@ -1,0 +1,41 @@
+package progress
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReporterCountsAndFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf, "fleet", 3)
+	for i := 0; i < 3; i++ {
+		r.Start()
+		r.Done()
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fleet: 3/3 done") {
+		t.Fatalf("final progress line missing: %q", out)
+	}
+}
+
+func TestReporterNilWriterAndConcurrency(t *testing.T) {
+	r := New(nil, "x", 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Start()
+			r.Done()
+		}()
+	}
+	wg.Wait()
+	if r.done != 64 || r.started != 64 {
+		t.Fatalf("counts %d/%d, want 64/64", r.done, r.started)
+	}
+	if r.Elapsed() < 0 {
+		t.Fatal("negative elapsed")
+	}
+}

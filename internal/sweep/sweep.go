@@ -32,11 +32,13 @@ package sweep
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/analysis/streaming"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/progress"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -66,6 +68,10 @@ type Def struct {
 	// Parallelism bounds the engine worker pool across the entire grid;
 	// <= 0 means GOMAXPROCS. It never changes the result.
 	Parallelism int
+	// Progress, when non-nil, receives live progress lines (grid points
+	// done / in flight / ETA) while the grid simulates. Wall-clock
+	// reporting only — it never changes the result.
+	Progress io.Writer
 }
 
 // VariantStats is one variant's cross-seed outcome.
@@ -152,7 +158,13 @@ func Run(d Def) (*Result, error) {
 		}
 	}
 
-	results := engine.Run(specs, engine.Options{Parallelism: d.Parallelism})
+	opts := engine.Options{Parallelism: d.Parallelism}
+	if d.Progress != nil {
+		prog := progress.New(d.Progress, "sweep", len(specs))
+		opts.OnStart = func(int) { prog.Start() }
+		opts.OnResult = func(int, *core.CellResult) { prog.Done() }
+	}
+	results := engine.Run(specs, opts)
 
 	res := &Result{Def: d, Metrics: MetricNames(), Cells: cells}
 	res.Def.Variants = variants
