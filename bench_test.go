@@ -377,8 +377,8 @@ func BenchmarkFleetRollup(b *testing.B) {
 		MedianMachines: 60,
 		Horizon:        2 * sim.Hour,
 		Seed:           29,
-		UsageNoiseFast: true,
 	}
+	cfg.UsageNoiseFast = true
 	b.ResetTimer()
 	var machines int
 	peak := experiments.PeakHeapDuring(func() {

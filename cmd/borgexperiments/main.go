@@ -24,8 +24,9 @@
 // Usage:
 //
 //	borgexperiments [-scale small|default|large] [-seed N] [-parallel N]
-//	                [-policy NAME] [-stream] [-export DIR] [-progress]
-//	                [-o report.txt]
+//	                [-policy NAME] [-arrival SPEC] [-stream] [-export DIR]
+//	                [-record-workload DIR] [-replay-workload DIR]
+//	                [-progress] [-o report.txt]
 //	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -progress prints live cells-done / in-flight / ETA lines to stderr;
@@ -34,7 +35,16 @@
 //
 // -policy overrides every cell's placement policy (see the scheduler
 // policy zoo: random-fit, best-fit, least-allocated, worst-fit, oversub,
-// one-shot); by default each cell keeps its era's calibrated policy.
+// one-shot); -arrival overrides every cell's arrival process (poisson,
+// gamma, weibull, cohorts — see workload.ParseArrival for knobs); by
+// default each cell keeps its era's calibrated settings.
+//
+// -record-workload DIR captures each cell's generated arrival/job
+// stream into one versioned recording file per cell under DIR;
+// -replay-workload DIR replays such a directory instead of generating
+// workloads, so the identical job stream can be rerun under any -policy
+// or -parallel setting (the replayed trace is byte-identical across
+// both).
 package main
 
 import (
@@ -44,31 +54,29 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
+	"repro/internal/cliflags"
+	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/profiling"
-	"repro/internal/scheduler"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("borgexperiments: ")
 	scaleName := flag.String("scale", "default", "simulation scale: small, default or large")
-	seed := flag.Uint64("seed", 1, "root random seed")
-	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
-	policy := flag.String("policy", "", "override every cell's placement policy ("+
-		strings.Join(scheduler.PolicyNames(), ", ")+"); empty keeps era defaults")
+	common := cliflags.Register(flag.CommandLine, "root random seed")
 	stream := flag.Bool("stream", false, "run with NoMemTrace: fold rows through streaming reducers instead of retaining traces (same report bytes)")
-	progressFlag := flag.Bool("progress", false, "print live progress (cells done / in flight / ETA) to stderr")
 	export := flag.String("export", "", "write per-cell CSV trace shards to this directory while simulating (implies -stream)")
+	recordDir := flag.String("record-workload", "", "record each cell's generated workload into this directory (one versioned file per cell)")
+	replayDir := flag.String("replay-workload", "", "replay the recorded workloads in this directory instead of generating (see -record-workload)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	prof, err := common.StartProfiling()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,19 +97,20 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
-	sc.Seed = *seed
-	sc.Parallelism = *parallel
-	if *policy != "" {
-		if _, err := scheduler.ParsePolicy(*policy); err != nil {
-			log.Fatal(err)
-		}
-		sc.Policy = *policy
-	}
+	sc.Seed = *common.Seed
+	sc.Parallelism = *common.Parallel
+	sc.RunKnobs = common.Knobs()
 	if *export != "" {
 		*stream = true
 	}
-	if *progressFlag {
-		sc.Progress = os.Stderr
+	sc.RecordWorkload = *recordDir != ""
+	if *replayDir != "" {
+		recs, err := experiments.LoadWorkloads(*replayDir, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc.Replay = recs
+		log.Printf("replaying %d recorded workloads from %s", len(recs), *replayDir)
 	}
 
 	var w io.Writer = os.Stdout
@@ -118,7 +127,7 @@ func main() {
 	fmt.Fprintf(w, "Borg: the Next Generation — reproduction report\n")
 	fmt.Fprintf(w, "scale=%s machines2011=%d machines2019=%dx8 horizon=%v seed=%d\n\n",
 		sc.Name, sc.Machines2011, sc.Machines2019, sc.Horizon, sc.Seed)
-	if *parallel != 1 {
+	if *common.Parallel != 1 {
 		effective := sc.Parallelism
 		if effective <= 0 {
 			effective = runtime.GOMAXPROCS(0)
@@ -131,6 +140,7 @@ func main() {
 	}
 
 	var report func(io.Writer) error
+	var stats []core.CellResult
 	peak := experiments.PeakHeapDuring(func() {
 		if *stream {
 			suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{ExportDir: *export})
@@ -141,10 +151,19 @@ func main() {
 				log.Printf("wrote 9 CSV shards under %s", *export)
 			}
 			report = suite.WriteReport
+			stats = suite.Stats
 		} else {
-			report = experiments.RunSuite(sc).WriteReport
+			suite := experiments.RunSuite(sc)
+			report = suite.WriteReport
+			stats = suite.Stats
 		}
 	})
+	if *recordDir != "" {
+		if err := experiments.SaveWorkloads(*recordDir, stats); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recorded %d cell workloads under %s", len(stats), *recordDir)
+	}
 	fmt.Fprintf(w, "simulated 9 cells in %v (peak heap %.0f MB)\n\n",
 		time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
 	if err := report(w); err != nil {

@@ -16,14 +16,16 @@
 // Usage:
 //
 //	borgfleet [-cells N] [-machines N] [-hours H] [-seed N] [-parallel N]
-//	          [-fastnoise] [-progress] [-o report.txt] [-cells-csv FILE]
-//	          [-rollup-csv FILE]
+//	          [-fastnoise] [-policy NAME] [-arrival SPEC] [-progress]
+//	          [-o report.txt] [-cells-csv FILE] [-rollup-csv FILE]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -fastnoise enables the usage sampler's table-based noise fast path in
-// every cell (core.Options.UsageNoiseFast — a versioned trace bump:
+// every cell (core.RunKnobs.UsageNoiseFast — a versioned trace bump:
 // cheaper sampling, statistically equivalent scalars, different trace
-// bytes than the exact path). Peak HeapAlloc is always reported so the
+// bytes than the exact path). -policy and -arrival override every
+// sampled cell's placement policy / arrival process (fleet-wide knob
+// ablations under CRN). Peak HeapAlloc is always reported so the
 // bounded-memory claim is observable.
 package main
 
@@ -36,9 +38,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
-	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
@@ -48,18 +50,17 @@ func main() {
 	cells := flag.Int("cells", 128, "fleet size (number of synthetic cells)")
 	machines := flag.Int("machines", 60, "median machines per cell (lognormal across the fleet)")
 	hours := flag.Float64("hours", 4, "simulated horizon per cell, in hours")
-	seed := flag.Uint64("seed", 1, "fleet root seed")
-	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
+	common := cliflags.Register(flag.CommandLine, "fleet root seed")
 	fastNoise := flag.Bool("fastnoise", false, "enable the usage-noise table fast path (versioned trace bump; same scalars statistically)")
-	progressFlag := flag.Bool("progress", false, "print live progress (cells done / in flight / ETA) to stderr")
 	out := flag.String("o", "", "write the fleet report to this file instead of stdout")
 	cellsCSV := flag.String("cells-csv", "", "stream per-cell scalar rows to this CSV file")
 	rollupCSV := flag.String("rollup-csv", "", "write the cross-cell rollup to this CSV file")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	prof, err := common.StartProfiling()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,13 +74,11 @@ func main() {
 		Cells:          *cells,
 		MedianMachines: *machines,
 		Horizon:        sim.FromHours(*hours),
-		Seed:           *seed,
-		Parallelism:    *parallel,
-		UsageNoiseFast: *fastNoise,
+		Seed:           *common.Seed,
+		Parallelism:    *common.Parallel,
 	}
-	if *progressFlag {
-		cfg.Progress = os.Stderr
-	}
+	cfg.RunKnobs = common.Knobs()
+	cfg.UsageNoiseFast = *fastNoise
 
 	var cellWriter *fleet.CellCSV
 	if *cellsCSV != "" {
@@ -92,7 +91,7 @@ func main() {
 		cfg.OnCell = cellWriter.Cell
 	}
 
-	effective := *parallel
+	effective := *common.Parallel
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)
 	}

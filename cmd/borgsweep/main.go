@@ -19,24 +19,32 @@
 // Usage:
 //
 //	borgsweep [-scale small|default|large] [-seed N] [-seeds N]
-//	          [-variants SPEC] [-parallel N] [-progress]
-//	          [-o report.txt] [-csv DIR]
+//	          [-variants SPEC] [-parallel N] [-policy NAME]
+//	          [-arrival SPEC] [-progress] [-o report.txt] [-csv DIR]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -progress prints live grid-points-done / in-flight / ETA lines to
-// stderr; peak HeapAlloc over the sweep is always reported.
+// stderr; peak HeapAlloc over the sweep is always reported. -policy and
+// -arrival set sweep-wide profile defaults that individual variants may
+// still override.
 //
 // where SPEC is semicolon-separated clauses: "baseline", a numeric
 // family "family:v1,v2,..." (arrival, machines, overcommit,
 // allocceiling, prodshift), the placement-policy family
 // "policy:name1,name2,..." (random-fit, best-fit, least-allocated,
-// worst-fit, oversub, one-shot — the scheduler policy zoo), or a named
-// composite "name:knob=value,..." where knob is any family or policy.
+// worst-fit, oversub, one-shot — the scheduler policy zoo), arrival
+// processes "arrival:gamma:cv=2.5,cohorts:k=40" (poisson, gamma,
+// weibull, cohorts — numeric values still mean rate multipliers), or a
+// named composite "name:knob=value,..." where knob is any family,
+// policy, or an arrival-process spec (multi-knob arrival specs join
+// their knobs with + since , separates composite knobs, e.g.
+// "bursty:arrival=cohorts:k=40+skew=1.5,policy=best-fit").
 // Examples:
 //
 //	borgsweep -scale small -seeds 5 -variants arrival:0.5,1.0,2.0
 //	borgsweep -seeds 3 -variants "overcommit:0.8,1.25;allocceiling:0.5;baseline"
 //	borgsweep -seeds 5 -variants "baseline;policy:best-fit,worst-fit"
+//	borgsweep -seeds 5 -variants "baseline;arrival:gamma:cv=2.5,weibull:cv=3"
 //	borgsweep -seeds 5 -variants "baseline;zoo-hot:policy=oversub,arrival=1.5"
 package main
 
@@ -49,8 +57,8 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
-	"repro/internal/profiling"
 	"repro/internal/sweep"
 )
 
@@ -58,20 +66,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("borgsweep: ")
 	scaleName := flag.String("scale", "small", "simulation scale: small, default or large")
-	seed := flag.Uint64("seed", 1, "sweep root seed")
+	common := cliflags.Register(flag.CommandLine, "sweep root seed")
 	seeds := flag.Int("seeds", 5, "number of root-seed replicates per variant")
 	variantSpec := flag.String("variants", "baseline",
 		"variant spec: semicolon-separated clauses — numeric families (arrival, machines, overcommit, allocceiling, prodshift), "+
-			"placement policies (policy:best-fit,...; see scheduler zoo), named composites (name:policy=oversub,arrival=1.5) or baseline")
-	parallel := flag.Int("parallel", 0, "cells simulated concurrently (0 = all CPUs); does not change the output")
-	progressFlag := flag.Bool("progress", false, "print live progress (grid points done / in flight / ETA) to stderr")
+			"placement policies (policy:best-fit,...; see scheduler zoo), arrival processes (arrival:gamma:cv=2.5,...), "+
+			"named composites (name:policy=oversub,arrival=1.5) or baseline")
 	out := flag.String("o", "", "write the sweep report to this file instead of stdout")
 	csvDir := flag.String("csv", "", "export per-metric and summary CSVs to this directory")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole sweep to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	prof, err := profiling.Start(*cpuProfile, *memProfile)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	prof, err := common.StartProfiling()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,16 +100,14 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
-	sc.Seed = *seed
+	sc.Seed = *common.Seed
+	sc.RunKnobs = common.Knobs()
 
 	variants, err := sweep.ParseVariants(*variantSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	def := sweep.Def{Scale: sc, Seeds: *seeds, Variants: variants, Parallelism: *parallel}
-	if *progressFlag {
-		def.Progress = os.Stderr
-	}
+	def := sweep.Def{Scale: sc, Seeds: *seeds, Variants: variants, Parallelism: *common.Parallel}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -113,7 +119,7 @@ func main() {
 		w = f
 	}
 
-	effective := *parallel
+	effective := *common.Parallel
 	if effective <= 0 {
 		effective = runtime.GOMAXPROCS(0)
 	}

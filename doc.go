@@ -61,7 +61,9 @@
 //     one engine pool with bounded memory and rolled up online into
 //     fleet-level cross-cell percentiles (internal/stats t-digests),
 //     reported by cmd/borgfleet. internal/progress supplies the live
-//     progress reporter shared by all three CLIs.
+//     progress reporter shared by all three CLIs, and internal/cliflags
+//     the shared flag set (-seed, -parallel, -policy, -arrival,
+//     -progress, profiling) they register and validate identically.
 //
 // # Placement fast path
 //
@@ -163,6 +165,47 @@
 // statistically equivalent — a differential test bounds the drift of
 // the utilization scalars, and the benchmark gate holds the measured
 // window speedup.
+//
+// # Workload generation and record/replay
+//
+// The workload generator's arrival timing is a pluggable seam:
+// workload.ArrivalProcess decides when the next collection is submitted
+// and by whom, running under a workload.RateEnvelope (SineEnvelope —
+// base rate times a sum of sinusoidal harmonics; one harmonic is the
+// classic diurnal profile). Processes register by name like scheduler
+// policies — workload.ParseArrival validates a "name:knob=value,..."
+// spec and lists the valid set on a typo, workload.ArrivalNames feeds
+// help text. The registry: "poisson" (the default diurnally-thinned
+// Poisson stream — byte-identical at the same seed to the pre-API
+// generator, pinned by a golden report hash in CI), "gamma:cv=C" and
+// "weibull:cv=C" (renewal processes whose coefficient-of-variation knob
+// dials burstiness a memoryless stream cannot express), and
+// "cohorts:k=K,skew=S,cv=C" (K clients with Zipf-skewed rate shares,
+// each an independent gamma renewal stream, superposed; the firing
+// client is the submitting user). A spec threads through every layer:
+// workload.CellProfile.Arrival, core.RunKnobs.Arrival,
+// experiments.Scale, the polymorphic sweep family
+// "arrival:gamma:cv=2.5,..." (numeric values still mean rate
+// multipliers), fleet-wide overrides, and the -arrival flag of all
+// three CLIs.
+//
+// The same seam makes workloads portable across runs:
+// workload.Recorder wraps any generator and captures the exact
+// arrival/job stream; workload.Replayer plays a capture back through
+// the generator-facing interface, rebasing collection IDs onto the
+// replaying run's ID space. Recordings serialize to a versioned text
+// format (round-trip exact — floats print with strconv 'g'/-1) via
+// WriteTo/ReadRecording; experiments.SaveWorkloads/LoadWorkloads
+// persist a suite's nine cells as one file each, driven by
+// borgexperiments -record-workload/-replay-workload. Because core.Run
+// derives its rng streams by labeled splits, replaying skips only the
+// workload stream: a replay at the recording's seed reproduces the
+// recording run's trace byte for byte, and the same recording replays
+// byte-identically under any placement policy, parameter overlay or
+// engine parallelism — Scale.Replay pins identical workloads across
+// sweep variants (common random numbers beyond seeds), and CI's
+// replay-smoke job checks record → replay → re-record fidelity end to
+// end through the CLI.
 //
 // # Fleet federation
 //

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"io"
 	"math"
 
 	"repro/internal/autopilot"
@@ -27,8 +28,40 @@ import (
 	"repro/internal/workload"
 )
 
+// RunKnobs are the per-run tuning knobs shared verbatim by every runner
+// configuration: core.Options, experiments.Scale and fleet.Config all
+// embed this struct (and sweeps inherit it through their Scale), so a
+// new shared knob is added in exactly one place and every layer's
+// selector (opts.Policy, sc.Policy, cfg.Policy, …) keeps compiling.
+type RunKnobs struct {
+	// Policy, when non-empty, overrides the profile's placement policy by
+	// canonical name (see scheduler.ParsePolicy). Run panics on an unknown
+	// name, like it would on any other malformed static configuration.
+	Policy string
+	// Arrival, when non-empty, overrides the profile's arrival process by
+	// spec (see workload.ParseArrival, e.g. "gamma:cv=2.5"). Ignored when
+	// a replay supplies the workload. Run panics on a malformed spec.
+	Arrival string
+	// UsageNoiseFast replaces the usage sampler's two per-resident
+	// lognormal noise draws (math.Exp over Box–Muller normals) with one
+	// 64-bit draw indexing a stratified inverse-CDF lookup table — the
+	// same marginal distribution to table resolution, with the table mean
+	// normalized to the exact lognormal mean (see noiseTable). It is OFF
+	// by default because it changes the randomness consumption sequence:
+	// enabling it is a versioned trace bump — same-seed traces differ
+	// from the exact path byte-for-byte, while scalar figure metrics stay
+	// statistically equivalent (pinned by test). Fleet-scale runs enable
+	// it to cheapen the sampler's dominant remaining cost.
+	UsageNoiseFast bool
+	// Progress, when non-nil, receives live progress reporting in the
+	// runners that render it (experiments, sweep, fleet). core.Run itself
+	// simulates one cell and emits no progress.
+	Progress io.Writer
+}
+
 // Options configures one cell simulation.
 type Options struct {
+	RunKnobs
 	// Horizon is the simulated duration (the trace window).
 	Horizon sim.Time
 	// Seed is the root seed; every random stream derives from it, so a
@@ -53,21 +86,17 @@ type Options struct {
 	// DisableAutopilot turns vertical scaling off even for jobs marked
 	// as autoscaled (ablation support).
 	DisableAutopilot bool
-	// UsageNoiseFast replaces the usage sampler's two per-resident
-	// lognormal noise draws (math.Exp over Box–Muller normals) with one
-	// 64-bit draw indexing a stratified inverse-CDF lookup table — the
-	// same marginal distribution to table resolution, with the table mean
-	// normalized to the exact lognormal mean (see noiseTable). It is OFF
-	// by default because it changes the randomness consumption sequence:
-	// enabling it is a versioned trace bump — same-seed traces differ
-	// from the exact path byte-for-byte, while scalar figure metrics stay
-	// statistically equivalent (pinned by test). Fleet-scale runs enable
-	// it to cheapen the sampler's dominant remaining cost.
-	UsageNoiseFast bool
-	// Policy, when non-empty, overrides the profile's placement policy by
-	// canonical name (see scheduler.ParsePolicy). Run panics on an unknown
-	// name, like it would on any other malformed static configuration.
-	Policy string
+	// RecordWorkload captures the generated arrival/job stream into
+	// CellResult.Workload (a versioned workload.Recording) while the run
+	// proceeds normally.
+	RecordWorkload bool
+	// Replay, when non-nil, replays a recorded workload instead of
+	// generating one: the cell sees the recording's exact arrival instants
+	// and job bodies (IDs rebased onto IDBase), under whatever policy and
+	// parameters this run selects. The workload RNG stream goes unused;
+	// all other streams (machines, scheduler, maintenance, usage) draw
+	// exactly as in a generating run at the same seed.
+	Replay *workload.Recording
 }
 
 // CellResult is the outcome of one simulated cell.
@@ -81,6 +110,9 @@ type CellResult struct {
 	Rows trace.RowCounts
 	// AutopilotUpdates counts limit adjustments issued.
 	AutopilotUpdates int
+	// Workload is the captured arrival/job stream, non-nil iff
+	// Options.RecordWorkload was set.
+	Workload *workload.Recording
 }
 
 // Run simulates one cell for opts.Horizon and returns its trace.
@@ -157,8 +189,38 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 		ap.OnLimitChange(sched.UpdateTaskRequest)
 	}
 
-	// Workload arrivals.
-	gen := workload.NewGenerator(p, cell.Capacity().CPU, opts.Horizon, root.Split("workload"), opts.IDBase+1)
+	// Workload arrivals: a live generator by default, or a replayer over
+	// a recorded stream. Constructing a generator consumes no randomness
+	// and root.Split never advances the parent state, so the replay path
+	// leaves every other stream's draws untouched — a replay at the same
+	// seed is byte-identical to the run that recorded it.
+	var gen workload.JobSource
+	if opts.Replay != nil {
+		gen = workload.NewReplayer(opts.Replay, opts.IDBase)
+	} else {
+		gen = workload.NewGeneratorArrival(p, cell.Capacity().CPU, opts.Horizon,
+			root.Split("workload"), opts.IDBase+1, opts.Arrival)
+	}
+	var recorder *workload.Recorder
+	if opts.RecordWorkload {
+		arrival := opts.Arrival
+		if arrival == "" {
+			arrival = p.Arrival
+		}
+		if opts.Replay != nil {
+			arrival = opts.Replay.Meta.Arrival
+		}
+		recorder = workload.NewRecorder(gen, workload.RecordingMeta{
+			Cell:     p.Name,
+			Era:      p.Era,
+			Machines: p.Machines,
+			Horizon:  opts.Horizon,
+			Seed:     opts.Seed,
+			Arrival:  workload.MustParseArrival(arrival).String(),
+			IDBase:   opts.IDBase,
+		})
+		gen = recorder
+	}
 	var scheduleArrival func(now sim.Time)
 	scheduleArrival = func(now sim.Time) {
 		delta := gen.NextInterArrival(now)
@@ -204,6 +266,9 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 	res := &CellResult{Profile: p, Trace: mem, Sched: sched.Stats(), Rows: counter.Counts()}
 	if ap != nil {
 		res.AutopilotUpdates = ap.Updates()
+	}
+	if recorder != nil {
+		res.Workload = recorder.Recording()
 	}
 	return res
 }

@@ -95,8 +95,9 @@ func noiseRun(t *testing.T, seed uint64, fast bool) map[string]float64 {
 		SnapshotAt: horizon / 2,
 	})
 	Run(p, Options{
-		Horizon: horizon, Seed: seed, NoMemTrace: true,
-		ExtraSinks: []trace.Sink{red}, UsageNoiseFast: fast,
+		RunKnobs: RunKnobs{UsageNoiseFast: fast},
+		Horizon:  horizon, Seed: seed, NoMemTrace: true,
+		ExtraSinks: []trace.Sink{red},
 	})
 	out := make(map[string]float64)
 	for _, s := range red.Scalars(horizon / 2) {
@@ -128,7 +129,7 @@ func TestUsageNoiseFastOffIsByteIdentical(t *testing.T) {
 
 func TestUsageNoiseFastChangesTraceDeterministically(t *testing.T) {
 	p := workload.Profile2019("a", 120)
-	opts := Options{Horizon: 4 * sim.Hour, Seed: 7, UsageNoiseFast: true}
+	opts := Options{RunKnobs: RunKnobs{UsageNoiseFast: true}, Horizon: 4 * sim.Hour, Seed: 7}
 	a := Run(p, opts)
 	b := Run(workload.Profile2019("a", 120), opts)
 	if len(a.Trace.UsageRecords) != len(b.Trace.UsageRecords) {

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func sampleStats(t *testing.T, s Sampler, n int) (mean, cv float64) {
+	t.Helper()
+	src := rng.New(11)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Sample(src)
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("bad variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+func TestGammaMomentsAcrossShapes(t *testing.T) {
+	for _, shape := range []float64{0.25, 0.5, 1, 2.5, 9} {
+		g := Gamma{Shape: shape, Scale: 1 / shape} // mean 1, CV 1/sqrt(shape)
+		mean, cv := sampleStats(t, g, 200000)
+		if math.Abs(mean-1) > 0.03 {
+			t.Errorf("shape %g: mean %.4f, want 1±0.03", shape, mean)
+		}
+		wantCV := 1 / math.Sqrt(shape)
+		if math.Abs(cv-wantCV)/wantCV > 0.05 {
+			t.Errorf("shape %g: cv %.4f, want %.4f ±5%%", shape, cv, wantCV)
+		}
+	}
+}
+
+func TestWeibullMoments(t *testing.T) {
+	for _, k := range []float64{0.5, 1, 2} {
+		w := Weibull{Shape: k, Scale: 1}
+		mean, cv := sampleStats(t, w, 200000)
+		wantMean := math.Gamma(1 + 1/k)
+		wantCV := math.Sqrt(weibullCV2(k))
+		if math.Abs(mean-wantMean)/wantMean > 0.03 {
+			t.Errorf("k=%g: mean %.4f, want %.4f", k, mean, wantMean)
+		}
+		if math.Abs(cv-wantCV)/wantCV > 0.05 {
+			t.Errorf("k=%g: cv %.4f, want %.4f", k, cv, wantCV)
+		}
+	}
+}
+
+func TestWeibullShapeFromCVRoundTrip(t *testing.T) {
+	for _, cv := range []float64{0.3, 0.7, 1, 1.8, 3.5} {
+		k := WeibullShapeFromCV(cv)
+		got := math.Sqrt(weibullCV2(k))
+		if math.Abs(got-cv)/cv > 1e-6 {
+			t.Errorf("cv %g: shape %g gives cv %g", cv, k, got)
+		}
+	}
+	if k := WeibullShapeFromCV(1); math.Abs(k-1) > 1e-6 {
+		t.Errorf("cv=1 should give the exponential shape 1, got %g", k)
+	}
+}
+
+func TestRenewalSamplersDeterministic(t *testing.T) {
+	for _, s := range []Sampler{Gamma{Shape: 0.4, Scale: 2.5}, Weibull{Shape: 0.6, Scale: 1.2}} {
+		a, b := rng.New(5), rng.New(5)
+		for i := 0; i < 1000; i++ {
+			if x, y := s.Sample(a), s.Sample(b); x != y {
+				t.Fatalf("%T: draw %d diverged: %v vs %v", s, i, x, y)
+			}
+		}
+	}
+}

@@ -64,8 +64,8 @@ func TestSuiteDeterministicPerPolicy(t *testing.T) {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
 			sc := Scale{Name: "tiny", Machines2011: 40, Machines2019: 30,
-				Horizon: 3 * sim.Hour, Warmup: sim.Hour, Seed: 11,
-				Policy: p.String()}
+				Horizon: 3 * sim.Hour, Warmup: sim.Hour, Seed: 11}
+			sc.Policy = p.String()
 			sc.Parallelism = 1
 			serial := RunSuite(sc)
 			sc.Parallelism = 8

@@ -45,15 +45,23 @@ type Scale struct {
 	// worker pool); <= 0 means GOMAXPROCS. Output is identical at every
 	// setting — per-cell seeds derive from Seed via engine.DeriveSeed.
 	Parallelism int
-	// Policy, when non-empty, overrides every cell profile's placement
-	// policy by canonical name (scheduler.ParsePolicy); empty keeps each
-	// profile's era default (2011: random-fit, 2019: least-allocated).
-	// SuiteProfiles panics on an unknown name.
-	Policy string
+	// RunKnobs carries the shared per-run knobs. Policy and Arrival
+	// override every cell profile's placement policy / arrival process by
+	// name (empty keeps each profile's defaults; SuiteProfiles panics on
+	// unknown names). UsageNoiseFast threads into every cell's options.
 	// Progress, when non-nil, receives live progress lines (cells done /
-	// in flight / ETA) while the suite simulates. Pure wall-clock
-	// reporting — it never changes the output.
-	Progress io.Writer
+	// in flight / ETA) while the suite simulates — pure wall-clock
+	// reporting, it never changes the output.
+	core.RunKnobs
+	// RecordWorkload captures every cell's arrival/job stream into its
+	// CellResult.Workload (see SaveWorkloads for persisting a suite's
+	// recordings).
+	RecordWorkload bool
+	// Replay holds per-cell recordings, index-aligned with SuiteSpecs
+	// (0 = the 2011 cell, then 2019 a–h): a non-nil entry replays that
+	// recording instead of generating cell i's workload. LoadWorkloads
+	// rebuilds this slice from a recorded directory.
+	Replay []*workload.Recording
 }
 
 // engineOptions builds the suite's engine options: the scale's
@@ -113,6 +121,12 @@ func SuiteProfiles(sc Scale) []*workload.CellProfile {
 			p.Policy = policy
 		}
 	}
+	if sc.Arrival != "" {
+		workload.MustParseArrival(sc.Arrival) // validate once, loudly
+		for _, p := range profiles {
+			p.Arrival = sc.Arrival
+		}
+	}
 	return profiles
 }
 
@@ -121,14 +135,22 @@ func SuiteProfiles(sc Scale) []*workload.CellProfile {
 // parameter sweeps use to vary profile knobs per variant. Seeds and ID
 // spaces are assigned per the engine contracts.
 func SuiteSpecsWith(sc Scale, overlay func(*workload.CellProfile)) []engine.Spec {
-	base := core.Options{Horizon: sc.Horizon}
+	// Policy and Arrival act at the profile level (SuiteProfiles), so
+	// only the remaining knobs ride the per-cell options; Progress is
+	// suite-level reporting and never enters a cell.
+	base := core.Options{Horizon: sc.Horizon, RecordWorkload: sc.RecordWorkload}
+	base.UsageNoiseFast = sc.UsageNoiseFast
 	profiles := SuiteProfiles(sc)
 	specs := make([]engine.Spec, 0, len(profiles))
 	for i, p := range profiles {
 		if overlay != nil {
 			overlay(p)
 		}
-		specs = append(specs, engine.NewSpec(i, p, base, sc.Seed))
+		spec := engine.NewSpec(i, p, base, sc.Seed)
+		if i < len(sc.Replay) {
+			spec.Options.Replay = sc.Replay[i]
+		}
+		specs = append(specs, spec)
 	}
 	return specs
 }

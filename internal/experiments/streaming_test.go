@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -126,16 +127,18 @@ func TestStreamingExportShards(t *testing.T) {
 }
 
 // tinySuiteAt caches retained suites per scale so the three tests above
-// share one simulation of each configuration.
-var retainedCache = map[Scale]*Suite{}
+// share one simulation of each configuration. Scale is not comparable
+// (it carries a Replay slice), so the cache keys on its printed form.
+var retainedCache = map[string]*Suite{}
 
 func tinySuiteAt(t *testing.T, sc Scale) *Suite {
 	t.Helper()
-	if s, ok := retainedCache[sc]; ok {
+	key := fmt.Sprintf("%+v", sc)
+	if s, ok := retainedCache[key]; ok {
 		return s
 	}
 	s := RunSuite(sc)
-	retainedCache[sc] = s
+	retainedCache[key] = s
 	return s
 }
 

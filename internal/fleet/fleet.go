@@ -63,12 +63,11 @@ type Config struct {
 	// Parallelism bounds the worker pool (engine semantics: <= 0 means
 	// GOMAXPROCS). Output is identical at any value.
 	Parallelism int
-	// UsageNoiseFast enables the usage sampler's table-based noise fast
-	// path in every cell (a versioned trace bump; see core.Options).
-	UsageNoiseFast bool
-	// Progress, when non-nil, receives live progress lines (cells done /
-	// in flight / ETA).
-	Progress io.Writer
+	// RunKnobs carries the shared per-run knobs, applied to every cell:
+	// Policy/Arrival overrides, the usage-noise fast path (a versioned
+	// trace bump; see core.RunKnobs), and the Progress writer for live
+	// progress lines (cells done / in flight / ETA).
+	core.RunKnobs
 	// OnCell, when set, observes each cell's summary in fleet order as
 	// it completes — the streaming hook per-cell CSV export hangs off.
 	OnCell func(CellSummary)
@@ -110,15 +109,17 @@ func (cfg Config) Spec(i int, sinks ...trace.Sink) engine.Spec {
 	seed := engine.DeriveSeed(cfg.Seed, i)
 	p := workload.SampleFleetProfile(cellName(i), cfg.medianMachines(),
 		rng.New(seed).Split("fleet-profile"))
+	knobs := cfg.RunKnobs
+	knobs.Progress = nil // progress is fleet-level, not per-cell
 	return engine.Spec{
 		Profile: p,
 		Options: core.Options{
-			Horizon:        cfg.horizon(),
-			Seed:           seed,
-			IDBase:         engine.IDBase(i),
-			NoMemTrace:     true,
-			UsageNoiseFast: cfg.UsageNoiseFast,
-			ExtraSinks:     sinks,
+			RunKnobs:   knobs,
+			Horizon:    cfg.horizon(),
+			Seed:       seed,
+			IDBase:     engine.IDBase(i),
+			NoMemTrace: true,
+			ExtraSinks: sinks,
 		},
 	}
 }

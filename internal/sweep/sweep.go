@@ -32,7 +32,6 @@ package sweep
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/analysis/streaming"
 	"repro/internal/core"
@@ -56,9 +55,12 @@ type Variant struct {
 // Def defines a sweep.
 type Def struct {
 	// Scale is the base suite scale (machine counts, horizon, warmup);
-	// Scale.Seed is the sweep's root seed. Scale.Parallelism is ignored —
-	// the sweep schedules the whole grid through one pool, see
-	// Parallelism below.
+	// Scale.Seed is the sweep's root seed, Scale.Progress (if set)
+	// receives live progress lines for the whole grid, and Scale.Replay
+	// (if set) replays the same recorded per-cell workloads at every grid
+	// point — fixing the workload itself across variants, CRN beyond
+	// seeds. Scale.Parallelism is ignored — the sweep schedules the whole
+	// grid through one pool, see Parallelism below.
 	Scale experiments.Scale
 	// Seeds is the number of root-seed replicates (N ≥ 1).
 	Seeds int
@@ -68,10 +70,6 @@ type Def struct {
 	// Parallelism bounds the engine worker pool across the entire grid;
 	// <= 0 means GOMAXPROCS. It never changes the result.
 	Parallelism int
-	// Progress, when non-nil, receives live progress lines (grid points
-	// done / in flight / ETA) while the grid simulates. Wall-clock
-	// reporting only — it never changes the result.
-	Progress io.Writer
 }
 
 // VariantStats is one variant's cross-seed outcome.
@@ -141,6 +139,7 @@ func Run(d Def) (*Result, error) {
 	specs := make([]engine.Spec, 0, d.Seeds*len(variants)*cells)
 	reducers := make([]*streaming.CellReducer, 0, cap(specs))
 	base := core.Options{Horizon: d.Scale.Horizon, NoMemTrace: true}
+	base.UsageNoiseFast = d.Scale.UsageNoiseFast
 	flat := 0
 	for run := 0; run < d.Seeds; run++ {
 		for _, v := range variants {
@@ -149,6 +148,12 @@ func Run(d Def) (*Result, error) {
 					v.Apply(p)
 				}
 				spec := engine.NewGridSpec(run, c, flat, p, base, d.Scale.Seed)
+				if c < len(d.Scale.Replay) {
+					// The same recorded workload at every grid point of
+					// cell c: variants then differ only in what the
+					// scheduler does with identical arrivals.
+					spec.Options.Replay = d.Scale.Replay[c]
+				}
 				red := experiments.NewCellReducerFor(spec)
 				spec.Options.ExtraSinks = append(spec.Options.ExtraSinks, red)
 				specs = append(specs, spec)
@@ -159,8 +164,8 @@ func Run(d Def) (*Result, error) {
 	}
 
 	opts := engine.Options{Parallelism: d.Parallelism}
-	if d.Progress != nil {
-		prog := progress.New(d.Progress, "sweep", len(specs))
+	if d.Scale.Progress != nil {
+		prog := progress.New(d.Scale.Progress, "sweep", len(specs))
 		opts.OnStart = func(int) { prog.Start() }
 		opts.OnResult = func(int, *core.CellResult) { prog.Done() }
 	}

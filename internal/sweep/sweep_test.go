@@ -392,3 +392,116 @@ func TestSweepCSVs(t *testing.T) {
 		t.Fatal("report is missing the paired-difference section")
 	}
 }
+
+// TestParseVariantsArrivalProcesses covers the polymorphic arrival
+// family: numeric values keep their rate-multiplier meaning, everything
+// else selects an arrival process by spec — in family clauses and in
+// named composites alike — and typos list the registered process set.
+func TestParseVariantsArrivalProcesses(t *testing.T) {
+	vs, err := ParseVariants(
+		"arrival:2,gamma:cv=2.5,cohorts:k=40+skew=1.5;bursty:arrival=weibull:cv=3,policy=best-fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Name)
+	}
+	want := []string{"arrival:2", "arrival:gamma:cv=2.5", "arrival:cohorts:k=40+skew=1.5", "bursty"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("parsed %v, want %v", names, want)
+	}
+
+	p := workload.Profile2019("a", 100)
+	baseRate := p.JobsPerHour
+	vs[0].Apply(p)
+	if p.JobsPerHour != baseRate*2 || p.Arrival != "" {
+		t.Fatalf("numeric arrival value no longer scales the rate: %g (base %g), arrival %q",
+			p.JobsPerHour, baseRate, p.Arrival)
+	}
+	vs[1].Apply(p)
+	if p.Arrival != "gamma:cv=2.5" {
+		t.Fatalf("process variant set Arrival = %q", p.Arrival)
+	}
+	p2 := workload.Profile2019("a", 100)
+	vs[3].Apply(p2)
+	if p2.Arrival != "weibull:cv=3" || p2.Policy != scheduler.BestFit {
+		t.Fatalf("composite overlay: arrival %q, policy %v", p2.Arrival, p2.Policy)
+	}
+
+	for _, tc := range []struct {
+		spec  string
+		lists []string
+	}{
+		{"arrival:loglogistic", workload.ArrivalNames()},
+		{"x:arrival=loglogistic", workload.ArrivalNames()},
+	} {
+		_, err := ParseVariants(tc.spec)
+		if err == nil {
+			t.Fatalf("ParseVariants(%q) accepted", tc.spec)
+		}
+		for _, name := range tc.lists {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("ParseVariants(%q) error %q does not list %q", tc.spec, err, name)
+			}
+		}
+	}
+	for _, bad := range []string{"arrival:gamma:burst=2", "x:arrival=gamma:cv=-1"} {
+		if _, err := ParseVariants(bad); err == nil {
+			t.Fatalf("ParseVariants(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSweepReplayFixesWorkloadAcrossVariants pins the CRN-beyond-seeds
+// contract of Scale.Replay: when every grid point replays the same
+// recorded workloads, an arrival-process variant has nothing left to
+// vary — its metrics equal the baseline's exactly — while the replayed
+// numbers still match a plain generated run at the recording seed.
+func TestSweepReplayFixesWorkloadAcrossVariants(t *testing.T) {
+	rec := tinyScale()
+	rec.RecordWorkload = true
+	suite := experiments.RunSuite(rec)
+	recs := make([]*workload.Recording, len(suite.Stats))
+	for i := range suite.Stats {
+		recs[i] = suite.Stats[i].Workload
+	}
+
+	d := Def{
+		Scale:       tinyScale(),
+		Seeds:       1,
+		Variants:    []Variant{Baseline(), mustVariant(t, "arrival:gamma:cv=2.5")},
+		Parallelism: 4,
+	}
+	d.Scale.Replay = recs
+	res, err := Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, alt := res.Variants[0], res.Variants[1]
+	if !reflect.DeepEqual(base.PerSeed, alt.PerSeed) {
+		t.Fatalf("arrival variant moved metrics under replayed workloads:\nbase %v\nalt  %v",
+			base.PerSeed[0], alt.PerSeed[0])
+	}
+
+	// Sanity check the control: without replay the same variant moves at
+	// least one metric.
+	d2 := d
+	d2.Scale.Replay = nil
+	res2, err := Run(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res2.Variants[0].PerSeed, res2.Variants[1].PerSeed) {
+		t.Fatal("gamma:cv=2.5 variant changed nothing even without replay — variant inert")
+	}
+}
+
+func mustVariant(t *testing.T, spec string) Variant {
+	t.Helper()
+	vs, err := ParseVariants(spec)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("ParseVariants(%q): %v (%d variants)", spec, err, len(vs))
+	}
+	return vs[0]
+}

@@ -85,6 +85,43 @@ func ProdShift(f float64) Variant {
 	}
 }
 
+// ArrivalProcessVariant returns a variant pinning every cell's arrival
+// process to the given spec (see workload.ParseArrival) — same clusters,
+// same policies, different inter-arrival structure. Inside variant
+// clauses a multi-knob spec separates its knobs with "+" rather than ","
+// (e.g. "cohorts:k=40+skew=1.5"), because "," already separates clause
+// values. It errors on an unknown process or knob rather than silently
+// no-opping.
+func ArrivalProcessVariant(spec string) (Variant, error) {
+	parsed, err := workload.ParseArrival(spec)
+	if err != nil {
+		return Variant{}, fmt.Errorf("sweep: %w", err)
+	}
+	canonical := parsed.String()
+	return Variant{
+		Name:  "arrival:" + canonical,
+		Apply: func(p *workload.CellProfile) { p.Arrival = canonical },
+	}, nil
+}
+
+// arrivalVariant builds one value of the polymorphic arrival family: a
+// plain number keeps its historical meaning as a rate multiplier
+// (ArrivalScale), anything else is an arrival-process spec
+// (ArrivalProcessVariant).
+func arrivalVariant(value, clause string) (Variant, error) {
+	if f, err := strconv.ParseFloat(value, 64); err == nil {
+		if f <= 0 {
+			return Variant{}, fmt.Errorf("sweep: value %g in clause %q must be positive", f, clause)
+		}
+		return ArrivalScale(f), nil
+	}
+	v, err := ArrivalProcessVariant(value)
+	if err != nil {
+		return Variant{}, fmt.Errorf("%w (in clause %q)", err, clause)
+	}
+	return v, nil
+}
+
 // PolicyVariant returns a variant pinning every cell's placement policy
 // to the named brain from the scheduler's policy zoo — same clusters,
 // same arrivals, different scheduler. It errors (rather than silently
@@ -130,7 +167,9 @@ func familyNames() []string {
 }
 
 // knobVariant builds one knob=value overlay of a named composite clause:
-// the numeric families by parsed float, or "policy" by policy name.
+// the numeric families by parsed float, "policy" by policy name, and
+// "arrival" polymorphically — a number scales the rate, anything else
+// selects an arrival process (knobs "+"-separated, see ArrivalProcessVariant).
 func knobVariant(knob, value, clause string) (Variant, error) {
 	if knob == "policy" {
 		v, err := PolicyVariant(value)
@@ -138,6 +177,9 @@ func knobVariant(knob, value, clause string) (Variant, error) {
 			return Variant{}, fmt.Errorf("%w (in clause %q)", err, clause)
 		}
 		return v, nil
+	}
+	if knob == "arrival" {
+		return arrivalVariant(value, clause)
 	}
 	mk := families[knob]
 	if mk == nil {
@@ -189,17 +231,22 @@ func parseNamedClause(name, values, clause string) (Variant, error) {
 //     (absolute fraction), prodshift (production-share multiplier);
 //   - "policy:name1,name2,..." — one variant per placement policy from
 //     the scheduler zoo (scheduler.PolicyNames);
+//   - "arrival:spec1,spec2,..." — the arrival family is polymorphic:
+//     a numeric value keeps its rate-multiplier meaning, anything else
+//     selects an arrival process by spec (workload.ParseArrival), e.g.
+//     "arrival:gamma:cv=2.5,cohorts:k=40+skew=1.5" — multi-knob specs
+//     join knobs with "+" because "," separates clause values;
 //   - "name:knob=value[,knob=value...]" — a named composite variant
 //     applying each knob overlay in order; knobs are the families above
 //     plus policy.
 //
 // Example:
 //
-//	baseline;arrival:0.5,2.0;policy:best-fit;zoo-hot:policy=oversub,arrival=1.5
+//	baseline;arrival:0.5,weibull:cv=3;policy:best-fit;zoo-hot:policy=oversub,arrival=1.5
 //
-// expands to five variants. Unknown clause, knob and policy names error
-// with the valid set — a typo never silently no-ops. An empty spec
-// yields just the baseline.
+// expands to five variants. Unknown clause, knob, policy and arrival
+// names error with the valid set — a typo never silently no-ops. An
+// empty spec yields just the baseline.
 func ParseVariants(spec string) ([]Variant, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -220,6 +267,18 @@ func ParseVariants(spec string) ([]Variant, error) {
 		if !ok {
 			return nil, fmt.Errorf("sweep: unknown variant clause %q (clauses: %s, or name:knob=value)",
 				clause, strings.Join(familyNames(), ", "))
+		}
+		if family == "arrival" {
+			// Handled before the "=" composite check: arrival-process specs
+			// like "gamma:cv=2.5" carry their own "=" knobs.
+			for _, vs := range strings.Split(values, ",") {
+				v, err := arrivalVariant(strings.TrimSpace(vs), clause)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			}
+			continue
 		}
 		if strings.Contains(values, "=") {
 			v, err := parseNamedClause(family, values, clause)

@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/dist"
@@ -65,7 +64,10 @@ type Generator struct {
 	nextID   trace.CollectionID
 	tierPick *dist.Categorical
 	tiers    []tierGen
-	users    *dist.Zipf
+	// arr decides when collections arrive and who submits them; env is
+	// its rate envelope (also exposed for tests via rateAt).
+	arr ArrivalProcess
+	env RateEnvelope
 
 	liveJobs   []liveRef
 	liveAllocs []liveRef
@@ -78,16 +80,31 @@ type Generator struct {
 
 // NewGenerator builds a generator for the profile over the given horizon.
 // startID seeds collection IDs so multiple cells get disjoint ID spaces.
+// The arrival process comes from the profile's Arrival spec (default
+// poisson); construction consumes no randomness, so building and
+// discarding a generator never perturbs the cell's draw sequence.
 func NewGenerator(p *CellProfile, capacityCPU float64, horizon sim.Time, src *rng.Source, startID trace.CollectionID) *Generator {
+	return NewGeneratorArrival(p, capacityCPU, horizon, src, startID, "")
+}
+
+// NewGeneratorArrival is NewGenerator with an arrival-process override:
+// a non-empty spec (see ParseArrival) takes precedence over the
+// profile's Arrival field. It panics on a malformed spec — callers
+// validate user input with ParseArrival first.
+func NewGeneratorArrival(p *CellProfile, capacityCPU float64, horizon sim.Time, src *rng.Source, startID trace.CollectionID, arrival string) *Generator {
 	g := &Generator{
 		p:                 p,
 		src:               src,
 		horizon:           horizon,
 		capacityCPU:       capacityCPU,
 		nextID:            startID,
-		users:             dist.NewZipf(50, 1.2),
+		env:               envelopeFor(p),
 		UsageCompensation: 1.15,
 	}
+	if arrival == "" {
+		arrival = p.Arrival
+	}
+	g.arr = newArrival(MustParseArrival(arrival), p, horizon, src)
 	shares := make([]float64, len(p.Tiers))
 	rate := p.TotalArrivalRate()
 	horizonHours := horizon.Hours()
@@ -139,30 +156,17 @@ func NewGenerator(p *CellProfile, capacityCPU float64, horizon sim.Time, src *rn
 }
 
 // NextInterArrival draws the time to the next job submission at simulation
-// time now, thinning a homogeneous Poisson process by the diurnal profile.
+// time now, delegating to the generator's arrival process (default: a
+// homogeneous Poisson stream thinned by the diurnal envelope).
 func (g *Generator) NextInterArrival(now sim.Time) sim.Time {
-	rate := g.p.TotalArrivalRate() // jobs per hour
-	if rate <= 0 {
-		return g.horizon
-	}
-	maxRate := rate * (1 + g.p.DiurnalAmplitude)
-	t := now
-	for i := 0; i < 10000; i++ {
-		step := dist.Exponential{Rate: maxRate}.Sample(g.src) // hours
-		t += sim.FromHours(step)
-		if g.src.Float64() <= g.rateAt(t)/maxRate {
-			return t - now
-		}
-	}
-	return g.horizon
+	return g.arr.NextInterArrival(now)
 }
 
-// rateAt is the diurnally modulated arrival rate (jobs/hour) at time t.
-func (g *Generator) rateAt(t sim.Time) float64 {
-	base := g.p.TotalArrivalRate()
-	phase := 2 * math.Pi * float64(t+g.p.DiurnalPhase) / float64(sim.Day)
-	return base * (1 + g.p.DiurnalAmplitude*math.Sin(phase))
-}
+// Arrival exposes the generator's arrival process.
+func (g *Generator) Arrival() ArrivalProcess { return g.arr }
+
+// rateAt is the modulated arrival rate (jobs/hour) at time t.
+func (g *Generator) rateAt(t sim.Time) float64 { return g.env.Rate(t) }
 
 // Generate produces the collections submitted at time now: usually one
 // job, occasionally preceded by a new alloc set (§5.1: 2% of collections
@@ -203,7 +207,7 @@ func (g *Generator) newID() trace.CollectionID {
 }
 
 func (g *Generator) user() string {
-	return fmt.Sprintf("user-%02d", g.users.Draw(g.src))
+	return g.arr.User()
 }
 
 // makeAllocSet builds an alloc-set collection with a handful of sizeable

@@ -86,7 +86,15 @@ type CellProfile struct {
 	// phase is the local-time offset (cell g runs at Singapore time).
 	DiurnalAmplitude float64
 	DiurnalPhase     sim.Time
-	Tiers            []TierParams
+	// Arrival selects the arrival process by spec (see ParseArrival);
+	// empty means the default diurnally-thinned poisson stream.
+	Arrival string
+	// Users and UserSkew shape the Zipf user-popularity model (and the
+	// cohorts process's client population); zero means the calibrated
+	// defaults of 50 users at skew 1.2.
+	Users    int
+	UserSkew float64
+	Tiers    []TierParams
 	// AllocSetFraction is the fraction of collections that are alloc
 	// sets (§5.1: 2%).
 	AllocSetFraction float64

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// recordCell drives a fresh generator for the profile through a Recorder
+// exactly as core.Run's arrival loop does and returns the capture.
+func recordCell(t *testing.T, arrival string, idBase trace.CollectionID, seed uint64) *Recording {
+	t.Helper()
+	p := Profile2019("a", 240)
+	horizon := 12 * sim.Hour
+	gen := NewGeneratorArrival(p, testCapacityCPU, horizon, rng.New(seed), idBase+1, arrival)
+	spec := arrival
+	if spec == "" {
+		spec = p.Arrival
+	}
+	rec := NewRecorder(gen, RecordingMeta{
+		Cell: p.Name, Era: p.Era, Machines: p.Machines, Horizon: horizon,
+		Seed: seed, Arrival: MustParseArrival(spec).String(), IDBase: idBase,
+	})
+	drive(rec, horizon)
+	return rec.Recording()
+}
+
+// drive pumps a JobSource to its horizon, mirroring core.Run's loop.
+func drive(src JobSource, horizon sim.Time) {
+	now := sim.Time(0)
+	for {
+		now += src.NextInterArrival(now)
+		if now >= horizon {
+			return
+		}
+		src.Generate(now)
+	}
+}
+
+func TestRecordingRoundTripsThroughText(t *testing.T) {
+	rec := recordCell(t, "cohorts:k=12", 1<<32, 7)
+	if len(rec.Arrivals) == 0 {
+		t.Fatal("recorded no arrivals")
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("recording did not round-trip through its text form:\nmeta %+v vs %+v, %d vs %d arrivals",
+			rec.Meta, got.Meta, len(rec.Arrivals), len(got.Arrivals))
+	}
+}
+
+// TestReplayerReproducesRecording replays a capture through a second
+// Recorder: the re-capture must equal the original exactly (same arrival
+// instants, same job bodies), proving the replayed stream is the
+// recorded stream.
+func TestReplayerReproducesRecording(t *testing.T) {
+	rec := recordCell(t, "", 1<<32, 7)
+	re := NewRecorder(NewReplayer(rec, rec.Meta.IDBase), rec.Meta)
+	drive(re, rec.Meta.Horizon)
+	if !reflect.DeepEqual(rec, re.Recording()) {
+		t.Fatalf("replay re-capture differs from the original recording (%d vs %d arrivals)",
+			len(rec.Arrivals), len(re.Recording().Arrivals))
+	}
+}
+
+// TestReplayerRebasesIDs checks a recording replays into a different ID
+// space: every collection ID (and parent/alloc reference) shifts by the
+// new base while offsets stay put.
+func TestReplayerRebasesIDs(t *testing.T) {
+	rec := recordCell(t, "", 1<<32, 7)
+	newBase := trace.CollectionID(5 << 32)
+	re := NewRecorder(NewReplayer(rec, newBase),
+		RecordingMeta{Cell: rec.Meta.Cell, Era: rec.Meta.Era, Machines: rec.Meta.Machines,
+			Horizon: rec.Meta.Horizon, Seed: rec.Meta.Seed, Arrival: rec.Meta.Arrival, IDBase: newBase})
+	drive(re, rec.Meta.Horizon)
+	got := re.Recording()
+	if len(got.Arrivals) != len(rec.Arrivals) {
+		t.Fatalf("arrival counts differ: %d vs %d", len(got.Arrivals), len(rec.Arrivals))
+	}
+	for i := range rec.Arrivals {
+		if !reflect.DeepEqual(rec.Arrivals[i], got.Arrivals[i]) {
+			t.Fatalf("arrival %d differs after rebase (offsets should be base-independent)", i)
+		}
+	}
+}
+
+// TestReplayerDrains checks the end-of-stream contract: past the last
+// recorded arrival the replayer reports an interval beyond any horizon
+// and generates nothing.
+func TestReplayerDrains(t *testing.T) {
+	rec := recordCell(t, "", 1<<32, 7)
+	r := NewReplayer(rec, rec.Meta.IDBase)
+	drive(r, rec.Meta.Horizon)
+	if d := r.NextInterArrival(rec.Meta.Horizon); d < rec.Meta.Horizon {
+		t.Fatalf("drained replayer reported inter-arrival %v, want effectively never", d)
+	}
+	if jobs := r.Generate(rec.Meta.Horizon); jobs != nil {
+		t.Fatalf("drained replayer generated %d jobs", len(jobs))
+	}
+}
+
+// TestReadRecordingRejectsCorruption pins the loud-failure contract of
+// the versioned format: wrong magic, wrong version and truncation all
+// error rather than replaying a distorted workload.
+func TestReadRecordingRejectsCorruption(t *testing.T) {
+	rec := recordCell(t, "", 1<<32, 7)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+
+	corrupt := map[string]string{
+		"magic":    "borgtrace/1" + good[len("borgworkload/1"):],
+		"version":  "borgworkload/9" + good[len("borgworkload/1"):],
+		"truncate": good[:len(good)*2/3],
+	}
+	for name, text := range corrupt {
+		if _, err := ReadRecording(bytes.NewReader([]byte(text))); err == nil {
+			t.Errorf("%s-corrupted recording parsed without error", name)
+		}
+	}
+}
