@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -277,7 +278,7 @@ func benchScaleLarge() experiments.Scale {
 func BenchmarkLargeCellSuite(b *testing.B) {
 	sc := benchScaleLarge()
 	b.ResetTimer()
-	peak := experiments.PeakHeapDuring(func() {
+	peak := metrics.PeakHeapDuring(func() {
 		for i := 0; i < b.N; i++ {
 			experiments.RunSuite(sc)
 		}
@@ -293,7 +294,7 @@ func BenchmarkLargeCellSuite(b *testing.B) {
 func BenchmarkStreamingSuite(b *testing.B) {
 	sc := benchScaleLarge()
 	b.ResetTimer()
-	peak := experiments.PeakHeapDuring(func() {
+	peak := metrics.PeakHeapDuring(func() {
 		for i := 0; i < b.N; i++ {
 			suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{})
 			if err != nil {
@@ -328,7 +329,7 @@ func BenchmarkManyCellSuite(b *testing.B) {
 	names := workload.Cells2019()
 	b.ResetTimer()
 	var rows int64
-	peak := experiments.PeakHeapDuring(func() {
+	peak := metrics.PeakHeapDuring(func() {
 		for i := 0; i < b.N; i++ {
 			specs := make([]engine.Spec, cells)
 			for c := range specs {
@@ -381,7 +382,7 @@ func BenchmarkFleetRollup(b *testing.B) {
 	cfg.UsageNoiseFast = true
 	b.ResetTimer()
 	var machines int
-	peak := experiments.PeakHeapDuring(func() {
+	peak := metrics.PeakHeapDuring(func() {
 		for i := 0; i < b.N; i++ {
 			rep := fleet.Run(cfg)
 			machines = rep.TotalMachines

@@ -27,11 +27,19 @@
 //	                [-policy NAME] [-arrival SPEC] [-stream] [-export DIR]
 //	                [-record-workload DIR] [-replay-workload DIR]
 //	                [-progress] [-o report.txt]
+//	                [-http :6060] [-metrics FILE] [-timeline FILE]
 //	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -progress prints live cells-done / in-flight / ETA lines to stderr;
 // peak HeapAlloc over the run is always reported, so the streaming
 // path's memory claims are observable outside benchmarks.
+//
+// -http serves the live observability endpoint while the run executes
+// (progress/ETA at /, Prometheus at /metrics, pprof under /debug/);
+// -metrics writes the final metrics snapshot (sched_*, sim_*, usage_*,
+// trace_* series; format by extension) and -timeline the wall-clock
+// run timeline as Chrome trace_event JSON. Instruments observe only:
+// none of the three changes a report or trace byte.
 //
 // -policy overrides every cell's placement policy (see the scheduler
 // policy zoo: random-fit, best-fit, least-allocated, worst-fit, oversub,
@@ -54,7 +62,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
@@ -85,6 +92,15 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	obs, err := common.StartObservability(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obs.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -99,7 +115,7 @@ func main() {
 	}
 	sc.Seed = *common.Seed
 	sc.Parallelism = *common.Parallel
-	sc.RunKnobs = common.Knobs()
+	sc.RunKnobs = obs.Knobs(common.Knobs())
 	if *export != "" {
 		*stream = true
 	}
@@ -123,7 +139,6 @@ func main() {
 		w = f
 	}
 
-	start := time.Now()
 	fmt.Fprintf(w, "Borg: the Next Generation — reproduction report\n")
 	fmt.Fprintf(w, "scale=%s machines2011=%d machines2019=%dx8 horizon=%v seed=%d\n\n",
 		sc.Name, sc.Machines2011, sc.Machines2019, sc.Horizon, sc.Seed)
@@ -141,7 +156,7 @@ func main() {
 
 	var report func(io.Writer) error
 	var stats []core.CellResult
-	peak := experiments.PeakHeapDuring(func() {
+	rs := obs.MeasureRun(func() {
 		if *stream {
 			suite, err := experiments.RunSuiteStreaming(sc, experiments.StreamingOptions{ExportDir: *export})
 			if err != nil {
@@ -164,8 +179,7 @@ func main() {
 		}
 		log.Printf("recorded %d cell workloads under %s", len(stats), *recordDir)
 	}
-	fmt.Fprintf(w, "simulated 9 cells in %v (peak heap %.0f MB)\n\n",
-		time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
+	fmt.Fprintf(w, "simulated 9 cells in %s\n\n", rs)
 	if err := report(w); err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 //	borgfleet [-cells N] [-machines N] [-hours H] [-seed N] [-parallel N]
 //	          [-fastnoise] [-policy NAME] [-arrival SPEC] [-progress]
 //	          [-o report.txt] [-cells-csv FILE] [-rollup-csv FILE]
+//	          [-http :6060] [-metrics FILE] [-timeline FILE]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -fastnoise enables the usage sampler's table-based noise fast path in
@@ -27,6 +28,12 @@
 // sampled cell's placement policy / arrival process (fleet-wide knob
 // ablations under CRN). Peak HeapAlloc is always reported so the
 // bounded-memory claim is observable.
+//
+// -http/-metrics/-timeline are the shared observability set (see
+// internal/cliflags): a live Prometheus + pprof + progress endpoint
+// while the fleet runs, the final fleet-level metrics rollup exported
+// by extension, and the wall-clock run timeline as Chrome trace_event
+// JSON. Instruments observe only — report and CSV bytes are unchanged.
 package main
 
 import (
@@ -36,10 +43,8 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"time"
 
 	"repro/internal/cliflags"
-	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/sim"
 )
@@ -69,6 +74,15 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	obs, err := common.StartObservability(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obs.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	cfg := fleet.Config{
 		Cells:          *cells,
@@ -77,7 +91,7 @@ func main() {
 		Seed:           *common.Seed,
 		Parallelism:    *common.Parallel,
 	}
-	cfg.RunKnobs = common.Knobs()
+	cfg.RunKnobs = obs.Knobs(common.Knobs())
 	cfg.UsageNoiseFast = *fastNoise
 
 	var cellWriter *fleet.CellCSV
@@ -98,13 +112,11 @@ func main() {
 	log.Printf("simulating %d cells (median %d machines, %gh horizon), parallelism %d",
 		*cells, *machines, *hours, effective)
 
-	start := time.Now()
 	var rep *fleet.Report
-	peak := experiments.PeakHeapDuring(func() {
+	rs := obs.MeasureRun(func() {
 		rep = fleet.Run(cfg)
 	})
-	log.Printf("simulated %d cells (%d machines) in %v (peak heap %.0f MB)",
-		rep.Cells, rep.TotalMachines, time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
+	log.Printf("simulated %d cells (%d machines) in %s", rep.Cells, rep.TotalMachines, rs)
 
 	if cellWriter != nil {
 		if err := cellWriter.Close(); err != nil {

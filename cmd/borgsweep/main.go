@@ -21,12 +21,16 @@
 //	borgsweep [-scale small|default|large] [-seed N] [-seeds N]
 //	          [-variants SPEC] [-parallel N] [-policy NAME]
 //	          [-arrival SPEC] [-progress] [-o report.txt] [-csv DIR]
+//	          [-http :6060] [-metrics FILE] [-timeline FILE]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -progress prints live grid-points-done / in-flight / ETA lines to
 // stderr; peak HeapAlloc over the sweep is always reported. -policy and
 // -arrival set sweep-wide profile defaults that individual variants may
-// still override.
+// still override. -http/-metrics/-timeline are the shared observability
+// set (see internal/cliflags): live Prometheus + pprof endpoint during
+// the sweep, final snapshot export, Chrome trace_event run timeline —
+// all observe-only, never changing report bytes.
 //
 // where SPEC is semicolon-separated clauses: "baseline", a numeric
 // family "family:v1,v2,..." (arrival, machines, overcommit,
@@ -55,7 +59,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/experiments"
@@ -88,6 +91,15 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	obs, err := common.StartObservability(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := obs.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -101,7 +113,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 	sc.Seed = *common.Seed
-	sc.RunKnobs = common.Knobs()
+	sc.RunKnobs = obs.Knobs(common.Knobs())
 
 	variants, err := sweep.ParseVariants(*variantSpec)
 	if err != nil {
@@ -126,16 +138,14 @@ func main() {
 	log.Printf("sweeping %d seeds × %d variants × 9 cells at scale %q (%d simulations, parallelism %d, streaming reducers)",
 		*seeds, len(variants), sc.Name, *seeds*len(variants)*9, effective)
 
-	start := time.Now()
 	var res *sweep.Result
-	peak := experiments.PeakHeapDuring(func() {
+	rs := obs.MeasureRun(func() {
 		res, err = sweep.Run(def)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("simulated %d cells in %v (peak heap %.0f MB)",
-		*seeds*len(variants)*res.Cells, time.Since(start).Round(time.Millisecond), float64(peak)/(1<<20))
+	log.Printf("simulated %d cells in %s", *seeds*len(variants)*res.Cells, rs)
 
 	fmt.Fprintf(w, "Borg: the Next Generation — parameter-sweep report\n\n")
 	if err := res.WriteReport(w); err != nil {

@@ -63,7 +63,12 @@
 //     reported by cmd/borgfleet. internal/progress supplies the live
 //     progress reporter shared by all three CLIs, and internal/cliflags
 //     the shared flag set (-seed, -parallel, -policy, -arrival,
-//     -progress, profiling) they register and validate identically.
+//     -progress, profiling, observability) they register and validate
+//     identically.
+//   - internal/metrics — the observability seam: a registry of typed
+//     instruments every hot layer reports into, exporters (Prometheus
+//     text, JSON, CSV, Chrome trace_event timelines), and the opt-in
+//     live HTTP endpoint. See "Observability" below.
 //
 // # Placement fast path
 //
@@ -263,6 +268,50 @@
 //
 // Same root seed + same definition ⇒ byte-identical sweep report at any
 // -parallel setting; CI smoke-tests exactly that.
+//
+// # Observability
+//
+// internal/metrics instruments the simulator without touching its
+// determinism: a Registry of typed instruments — lock-free atomic
+// counters and gauges, mutex-guarded t-digest histograms — that the
+// scheduler (placement attempts, score-cache hit rate, preemptions,
+// live pending-queue depth), the sim kernel (events dispatched, slab
+// occupancy), the usage pipeline (windows sampled, batch sizes) and the
+// trace layer (rows emitted per kind) report into. The contract is
+// observe-only: instruments consume no randomness, schedule no events
+// and write no trace rows, so a run with metrics attached is
+// byte-identical to one without, at any parallelism — pinned by
+// differential tests in internal/core, internal/experiments and
+// internal/fleet, and the instrumented placement fast path stays
+// zero-alloc (counter posts are batched per pick; histograms ride the
+// usage sampler's periodic tick, never the hot path) under its own
+// AllocsPerRun guard and benchmark gate.
+//
+// Multi-cell runs roll up deterministically: engine.RunInstruments
+// gives every cell a private registry (concurrent cells never share
+// one) and merges them into the run-level registry in spec order on the
+// engine's serialized OnResult path — the same discipline the streaming
+// reducers use — so the rolled-up snapshot, t-digest quantiles
+// included, is byte-identical at any parallelism. Counter/gauge merges
+// and histogram count/sum/min/max are exact and order-independent.
+// A metrics.Timeline sits outside the determinism boundary and records
+// wall-clock spans (warmup/run/flush per cell, cell and reduce spans at
+// the engine) exportable as Chrome trace_event JSON for
+// chrome://tracing or Perfetto.
+//
+// The surface is uniform across the CLIs (internal/cliflags.Obs):
+// -http :6060 serves live progress/ETA, /metrics (Prometheus),
+// /metrics.json, /metrics.csv, /timeline, /debug/pprof/ and
+// /debug/vars while the run executes, bounded by a graceful shutdown
+// when it completes (handlers render snapshots into local buffers, so
+// a stalled scraper can never block the engine's OnResult path);
+// -metrics FILE exports the final snapshot (format by extension) and
+// -timeline FILE the run timeline. The shared run summary — elapsed
+// wall time plus peak HeapAlloc from metrics.PeakHeapDuring, the one
+// sampler behind the CI memory ceiling, the suite benchmarks and every
+// CLI log line — records into the same registry (run_wall_seconds,
+// peak_heap_bytes). CI's metrics-smoke job scrapes a live fleet run
+// end to end and diffs its report against a metrics-off run.
 //
 // The root-level benchmarks (bench_test.go) regenerate each table and
 // figure and measure the engine's parallel speedup; cmd/borgexperiments

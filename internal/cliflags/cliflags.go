@@ -1,10 +1,15 @@
 // Package cliflags registers and validates the command-line flags the
 // three CLIs (borgexperiments, borgsweep, borgfleet) share: -seed,
-// -parallel, -progress, -policy, -arrival, -cpuprofile and -memprofile.
-// Before this package each binary re-declared the set by hand, and the
-// copies drifted in help text and validation; now every CLI registers
-// the shared flags through one Common value, validates name-registered
+// -parallel, -progress, -policy, -arrival, -cpuprofile, -memprofile,
+// and the observability set (-http, -metrics, -timeline). Before this
+// package each binary re-declared the set by hand, and the copies
+// drifted in help text and validation; now every CLI registers the
+// shared flags through one Common value, validates name-registered
 // knobs the same way, and converts them to core.RunKnobs with one call.
+// StartObservability owns the shared observability lifecycle: the run
+// registry, the optional live HTTP server, the snapshot/timeline file
+// exports at Close, and the one-format run summary (elapsed wall time +
+// peak HeapAlloc) every CLI used to hand-roll.
 package cliflags
 
 import (
@@ -28,6 +33,12 @@ type Common struct {
 	Arrival    *string
 	CPUProfile *string
 	MemProfile *string
+	// Observability flags: -http serves the live endpoint while the run
+	// executes; -metrics and -timeline export the final snapshot and the
+	// Chrome trace_event run timeline. See StartObservability.
+	HTTP        *string
+	MetricsOut  *string
+	TimelineOut *string
 }
 
 // Register installs the shared flag set on fs with identical names,
@@ -45,6 +56,12 @@ func Register(fs *flag.FlagSet, seedUsage string) *Common {
 			"), e.g. gamma:cv=2.5 or cohorts:k=40,skew=1.5; empty keeps profile defaults"),
 		CPUProfile: fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file"),
 		MemProfile: fs.String("memprofile", "", "write a pprof heap profile at exit to this file"),
+		HTTP: fs.String("http", "", "serve live observability on this address while the run executes "+
+			"(e.g. :6060): / progress+ETA, /metrics Prometheus, /metrics.json, /metrics.csv, /timeline, /debug/pprof/, /debug/vars"),
+		MetricsOut: fs.String("metrics", "", "write the final metrics snapshot to this file "+
+			"(.json and .csv by extension; anything else is Prometheus text)"),
+		TimelineOut: fs.String("timeline", "", "write the run's wall-clock timeline to this file as Chrome trace_event JSON "+
+			"(load in chrome://tracing or Perfetto)"),
 	}
 }
 

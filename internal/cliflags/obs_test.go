@@ -1,0 +1,122 @@
+package cliflags
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parse registers the shared flags on a fresh FlagSet and parses args.
+func parse(t *testing.T, args ...string) *Common {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs, "seed")
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestObservabilityLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "snap.prom")
+	timelinePath := filepath.Join(dir, "timeline.json")
+	c := parse(t, "-http", "127.0.0.1:0", "-metrics", metricsPath, "-timeline", timelinePath)
+
+	var logs []string
+	obs, err := c.StartObservability(func(format string, args ...any) {
+		logs = append(logs, format)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Reg == nil || obs.Timeline == nil {
+		t.Fatal("registry or timeline missing with -http and -timeline set")
+	}
+	if len(logs) == 0 || !strings.Contains(logs[0], "live observability") {
+		t.Fatalf("listen address not logged: %v", logs)
+	}
+
+	k := obs.Knobs(c.Knobs())
+	if k.Metrics != obs.Reg || k.Timeline != obs.Timeline {
+		t.Fatal("Knobs did not attach the observability surfaces")
+	}
+
+	rs := obs.MeasureRun(func() {
+		obs.Reg.Counter("worked_total").Inc()
+		obs.Timeline.Span("run", "run", 0)()
+	})
+	if rs.Elapsed < 0 {
+		t.Fatalf("bad run stats: %+v", rs)
+	}
+	if !strings.Contains(rs.String(), "peak heap") {
+		t.Fatalf("run summary format changed: %q", rs)
+	}
+
+	if err := obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"worked_total 1", "run_wall_seconds", "peak_heap_bytes"} {
+		if !strings.Contains(string(snap), want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	tl, err := os.ReadFile(timelinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tl), `"ph":"X"`) {
+		t.Errorf("timeline not chrome trace JSON:\n%s", tl)
+	}
+}
+
+func TestObservabilityServerServes(t *testing.T) {
+	c := parse(t, "-http", "127.0.0.1:0")
+	var addr string
+	obs, err := c.StartObservability(func(format string, args ...any) {
+		if len(args) == 1 {
+			if s, ok := args[0].(string); ok {
+				addr = strings.TrimSuffix(strings.TrimPrefix(s, "http://"), "/")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	if addr == "" {
+		t.Fatal("no address logged")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+}
+
+func TestObservabilityOffByDefault(t *testing.T) {
+	c := parse(t)
+	obs, err := c.StartObservability(func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Reg == nil {
+		t.Fatal("run registry must always exist (the run summary records into it)")
+	}
+	if obs.Timeline != nil {
+		t.Fatal("timeline allocated with nothing to render it")
+	}
+	if err := obs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

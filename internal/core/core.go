@@ -16,10 +16,12 @@ package core
 import (
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/autopilot"
 	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -57,6 +59,18 @@ type RunKnobs struct {
 	// runners that render it (experiments, sweep, fleet). core.Run itself
 	// simulates one cell and emits no progress.
 	Progress io.Writer
+	// Metrics, when non-nil, receives this run's instruments (sched_*,
+	// sim_*, usage_*, trace_* series; see internal/metrics). Instruments
+	// only observe: they consume no randomness and never alter trace
+	// bytes, so a run with Metrics set is byte-identical to one without.
+	// Multi-cell runners give each cell a private registry and merge them
+	// in spec order (engine.RunInstruments); this field must therefore be
+	// nilled per cell by fleet-level configs, like Progress.
+	Metrics *metrics.Registry
+	// Timeline, when non-nil, records wall-clock spans (warmup/run/flush
+	// per cell, reduce at the runner level) exportable as Chrome
+	// trace_event JSON. Same observe-only contract as Metrics.
+	Timeline *metrics.Timeline
 }
 
 // Options configures one cell simulation.
@@ -90,6 +104,15 @@ type Options struct {
 	// CellResult.Workload (a versioned workload.Recording) while the run
 	// proceeds normally.
 	RecordWorkload bool
+	// TimelineID labels this cell's timeline spans (the Chrome trace TID)
+	// so concurrent cells render as separate rows. Ignored when
+	// RunKnobs.Timeline is nil.
+	TimelineID int
+	// TimelineWarmup, when positive and Timeline is non-nil, splits the
+	// simulation span at this simulated instant into separate "warmup" and
+	// "run" wall-clock spans. The kernel's RunUntil is resumable, so the
+	// split cannot reorder events or change the trace.
+	TimelineWarmup sim.Time
 	// Replay, when non-nil, replays a recorded workload instead of
 	// generating one: the cell sees the recording's exact arrival instants
 	// and job bodies (IDs rebased onto IDBase), under whatever policy and
@@ -168,6 +191,7 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 		FailRestartDelay:      10 * sim.Second,
 	}
 	schedCfg.ProdEvictionSLO = 0.08
+	schedCfg.Metrics = opts.Metrics
 	if p.BatchQueue {
 		ceiling := p.BatchAllocCeiling
 		if ceiling <= 0 {
@@ -256,12 +280,53 @@ func Run(p *workload.CellProfile, opts Options) *CellResult {
 		opts.Histograms, opts.UsageNoiseFast)
 	sampler.k = k
 	sched.UnplaceHook = sampler.taskStopped
+	// Instruments piggyback on the sampling tick: the queue-depth
+	// histogram sees one observation per window, a sim-time series rather
+	// than a wall-clock one. Observing is read-only — no randomness, no
+	// trace rows — so the instrumented tick is byte-identical to the bare
+	// one.
+	var queueDepth *metrics.Histogram
+	if opts.Metrics != nil {
+		sampler.mWindows = opts.Metrics.Counter("usage_windows_total")
+		sampler.mBatch = opts.Metrics.Histogram("usage_batch_records")
+		queueDepth = opts.Metrics.Histogram("sched_queue_depth")
+	}
 	k.Every(sim.SampleWindow, sim.SampleWindow, opts.Horizon, func(now sim.Time) {
+		if queueDepth != nil {
+			queueDepth.Observe(float64(sched.QueueDepth()))
+		}
 		sampler.sample(now)
 	})
 
-	k.RunUntil(opts.Horizon)
+	// The kernel run splits at the warmup boundary only when a timeline
+	// wants separate spans; RunUntil is resumable, so the split leaves the
+	// event order — and therefore the trace — untouched.
+	tl := opts.Timeline
+	if tl != nil && opts.TimelineWarmup > 0 && opts.TimelineWarmup < opts.Horizon {
+		warmStart := time.Now()
+		k.RunUntil(opts.TimelineWarmup)
+		tl.Record("warmup", "cell", opts.TimelineID, warmStart, time.Since(warmStart))
+		runStart := time.Now()
+		k.RunUntil(opts.Horizon)
+		tl.Record("run", "cell", opts.TimelineID, runStart, time.Since(runStart))
+	} else {
+		done := tl.Span("run", "cell", opts.TimelineID)
+		k.RunUntil(opts.Horizon)
+		done()
+	}
+	flushDone := tl.Span("flush", "cell", opts.TimelineID)
 	trace.Flush(sink)
+	flushDone()
+
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("sim_events_total").Add(int64(k.Fired()))
+		reg.Histogram("sim_event_slab").Observe(float64(k.PoolSize()))
+		rows := counter.Counts()
+		reg.Counter("trace_rows_collections_total").Add(rows.Collections)
+		reg.Counter("trace_rows_instances_total").Add(rows.Instances)
+		reg.Counter("trace_rows_usage_total").Add(rows.Usage)
+		reg.Counter("trace_rows_machines_total").Add(rows.Machines)
+	}
 
 	res := &CellResult{Profile: p, Trace: mem, Sched: sched.Stats(), Rows: counter.Counts()}
 	if ap != nil {
@@ -318,6 +383,11 @@ type usageSampler struct {
 	// (and nil) when ap == nil.
 	trackSeen map[trace.InstanceKey]uint64
 	trackGen  uint64
+	// mWindows counts sampled windows and mBatch observes per-machine
+	// batch sizes when Options.Metrics is set; both nil otherwise.
+	// Observe-only: neither draws randomness nor emits rows.
+	mWindows *metrics.Counter
+	mBatch   *metrics.Histogram
 	// partialCPU/partialMem accumulate the time-weighted usage already
 	// emitted for the current window by tasks that stopped mid-window,
 	// per machine. The tick throttle subtracts them so a machine's
@@ -367,6 +437,9 @@ func (u *usageSampler) usageNoise() (noiseC, noiseM float64) {
 // batch (trace.EmitUsageBatch), and steady-state sampling with autopilot
 // disabled performs zero heap allocations.
 func (u *usageSampler) sample(now sim.Time) {
+	if u.mWindows != nil {
+		u.mWindows.Inc()
+	}
 	if u.ap != nil {
 		u.trackGen++
 	}
@@ -486,6 +559,9 @@ func (u *usageSampler) sample(now sim.Time) {
 			}
 		}
 		if len(recs) > 0 {
+			if u.mBatch != nil {
+				u.mBatch.Observe(float64(len(recs)))
+			}
 			if u.batcher != nil {
 				u.batcher.UsageBatch(recs)
 			} else {

@@ -51,7 +51,11 @@ type Scale struct {
 	// unknown names). UsageNoiseFast threads into every cell's options.
 	// Progress, when non-nil, receives live progress lines (cells done /
 	// in flight / ETA) while the suite simulates — pure wall-clock
-	// reporting, it never changes the output.
+	// reporting, it never changes the output. Metrics/Timeline, when
+	// non-nil, receive the suite's instrument rollup and run timeline
+	// (each cell gets a private registry, merged in spec order — see
+	// engine.RunInstruments); like Progress, they never change the
+	// report or trace bytes.
 	core.RunKnobs
 	// RecordWorkload captures every cell's arrival/job stream into its
 	// CellResult.Workload (see SaveWorkloads for persisting a suite's
@@ -137,8 +141,11 @@ func SuiteProfiles(sc Scale) []*workload.CellProfile {
 func SuiteSpecsWith(sc Scale, overlay func(*workload.CellProfile)) []engine.Spec {
 	// Policy and Arrival act at the profile level (SuiteProfiles), so
 	// only the remaining knobs ride the per-cell options; Progress is
-	// suite-level reporting and never enters a cell.
-	base := core.Options{Horizon: sc.Horizon, RecordWorkload: sc.RecordWorkload}
+	// suite-level reporting and never enters a cell, and Metrics/Timeline
+	// are applied per cell by engine.RunInstruments in the run functions.
+	// TimelineWarmup is inert until a timeline is attached.
+	base := core.Options{Horizon: sc.Horizon, RecordWorkload: sc.RecordWorkload,
+		TimelineWarmup: sc.Warmup}
 	base.UsageNoiseFast = sc.UsageNoiseFast
 	profiles := SuiteProfiles(sc)
 	specs := make([]engine.Spec, 0, len(profiles))
@@ -167,7 +174,9 @@ func SuiteSpecs(sc Scale) []engine.Spec {
 func RunSuite(sc Scale) *Suite {
 	s := &Suite{Scale: sc}
 	specs := SuiteSpecs(sc)
-	results := engine.Run(specs, sc.engineOptions(len(specs)))
+	ri := engine.NewRunInstruments(sc.Metrics, sc.Timeline, len(specs))
+	ri.Apply(specs)
+	results := engine.Run(specs, ri.Wrap(sc.engineOptions(len(specs))))
 	s.T2011 = results[0].Trace
 	s.Stats = append(s.Stats, *results[0])
 	for _, r := range results[1:] {

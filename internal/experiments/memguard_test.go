@@ -5,6 +5,8 @@ import (
 	"os"
 	"strconv"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // defaultMemBudgetMB is the peak-HeapAlloc ceiling for the LargeScale
@@ -35,7 +37,7 @@ func TestLargeScaleStreamingMemoryCeiling(t *testing.T) {
 	}
 
 	var reportErr error
-	peak := PeakHeapDuring(func() {
+	peak := metrics.PeakHeapDuring(func() {
 		suite, err := RunSuiteStreaming(LargeScale(), StreamingOptions{})
 		if err != nil {
 			reportErr = err

@@ -97,7 +97,9 @@ func RunSuiteStreaming(sc Scale, opts StreamingOptions) (*StreamingSuite, error)
 	}
 
 	s := &StreamingSuite{Scale: sc, R2011: r2011, R2019: r2019}
-	results := engine.Run(specs, sc.engineOptions(len(specs)))
+	ri := engine.NewRunInstruments(sc.Metrics, sc.Timeline, len(specs))
+	ri.Apply(specs)
+	results := engine.Run(specs, ri.Wrap(sc.engineOptions(len(specs))))
 	for _, r := range results {
 		s.Stats = append(s.Stats, *r)
 	}

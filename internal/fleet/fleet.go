@@ -66,7 +66,10 @@ type Config struct {
 	// RunKnobs carries the shared per-run knobs, applied to every cell:
 	// Policy/Arrival overrides, the usage-noise fast path (a versioned
 	// trace bump; see core.RunKnobs), and the Progress writer for live
-	// progress lines (cells done / in flight / ETA).
+	// progress lines (cells done / in flight / ETA). Metrics/Timeline,
+	// when non-nil, receive the fleet-level instrument rollup and run
+	// timeline (per-cell registries merged in fleet order; never change
+	// the report bytes).
 	core.RunKnobs
 	// OnCell, when set, observes each cell's summary in fleet order as
 	// it completes — the streaming hook per-cell CSV export hangs off.
@@ -110,7 +113,13 @@ func (cfg Config) Spec(i int, sinks ...trace.Sink) engine.Spec {
 	p := workload.SampleFleetProfile(cellName(i), cfg.medianMachines(),
 		rng.New(seed).Split("fleet-profile"))
 	knobs := cfg.RunKnobs
-	knobs.Progress = nil // progress is fleet-level, not per-cell
+	// Progress is fleet-level reporting, and the fleet registry/timeline
+	// must not be written by concurrent cells directly: Run gives each
+	// cell a private registry and merges in fleet order
+	// (engine.RunInstruments), so all three are nilled per cell.
+	knobs.Progress = nil
+	knobs.Metrics = nil
+	knobs.Timeline = nil
 	return engine.Spec{
 		Profile: p,
 		Options: core.Options{
@@ -169,8 +178,10 @@ func Run(cfg Config) *Report {
 	// building worker to the delivering worker covers the slot.
 	reducers := make([]*streaming.CellReducer, n)
 	warmup := cfg.warmup()
+	ri := engine.NewRunInstruments(cfg.Metrics, cfg.Timeline, n)
 	engine.RunStream(n, func(i int) engine.Spec {
 		spec := cfg.Spec(i)
+		spec.Options = ri.Cell(i, spec.Options)
 		reducers[i] = streaming.NewCellReducer(streaming.Config{
 			Meta: trace.Meta{
 				Era: spec.Profile.Era, Cell: spec.Profile.Name,
@@ -182,7 +193,7 @@ func Run(cfg Config) *Report {
 		})
 		spec.Options.ExtraSinks = append(spec.Options.ExtraSinks, reducers[i])
 		return spec
-	}, engine.Options{
+	}, ri.Wrap(engine.Options{
 		Parallelism: cfg.Parallelism,
 		OnStart:     func(int) { prog.Start() },
 		OnResult: func(i int, res *core.CellResult) {
@@ -204,7 +215,7 @@ func Run(cfg Config) *Report {
 			}
 			prog.Done()
 		},
-	})
+	}))
 	rep.Rollup = rollup(names, digests, sums, n)
 	return rep
 }

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exportReg builds a small registry covering all three kinds.
+func exportReg() *Registry {
+	r := NewRegistry()
+	r.Counter("placed_total").Add(42)
+	r.Gauge("queue_depth").Set(3.5)
+	h := r.Histogram("batch_size")
+	for _, v := range []float64{1, 2, 3} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportReg().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE placed_total counter\nplaced_total 42\n",
+		"# TYPE queue_depth gauge\nqueue_depth 3.5\n",
+		"# TYPE batch_size summary\n",
+		`batch_size{quantile="0.5"} 2`,
+		"batch_size_sum 6\nbatch_size_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportReg().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got.Counters) != 1 || got.Counters[0].Value != 42 {
+		t.Errorf("round-tripped counters: %+v", got.Counters)
+	}
+	if len(got.Hists) != 1 || got.Hists[0].Count != 3 || got.Hists[0].Sum != 6 {
+		t.Errorf("round-tripped histograms: %+v", got.Hists)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportReg().Snapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 instruments
+		t.Fatalf("got %d rows, want 4: %v", len(recs), recs)
+	}
+	if recs[1][0] != "placed_total" || recs[1][1] != "counter" || recs[1][2] != "42" {
+		t.Errorf("counter row: %v", recs[1])
+	}
+	if recs[3][0] != "batch_size" || recs[3][1] != "histogram" || recs[3][3] != "3" {
+		t.Errorf("histogram row: %v", recs[3])
+	}
+}
+
+func TestWriteSnapshotFileDispatch(t *testing.T) {
+	snap := exportReg().Snapshot()
+	for _, tc := range []struct {
+		path, marker string
+	}{
+		{"out.json", `"counters"`},
+		{"out.csv", "name,kind,value"},
+		{"out.prom", "# TYPE placed_total counter"},
+		{"out", "# TYPE placed_total counter"},
+	} {
+		var buf bytes.Buffer
+		if err := snap.WriteSnapshotFile(&buf, tc.path); err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if !strings.Contains(buf.String(), tc.marker) {
+			t.Errorf("%s: output missing %q:\n%s", tc.path, tc.marker, buf.String())
+		}
+	}
+}
+
+// TestSnapshotDeterministic pins that two identical registries snapshot
+// to byte-identical exports — the property run-level rollups inherit.
+func TestSnapshotDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := exportReg().Snapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := exportReg().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical registries exported different bytes")
+	}
+}

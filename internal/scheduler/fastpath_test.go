@@ -4,7 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -26,6 +29,7 @@ func TestScoreCacheMatchesRecompute(t *testing.T) {
 	ids := cell.MachineIDs()
 	next := trace.CollectionID(100000)
 	extra := make(map[trace.MachineID][]trace.InstanceKey)
+	var hits, misses int
 
 	for step := 0; step < 3000; step++ {
 		mid := ids[src.Intn(len(ids))]
@@ -62,17 +66,24 @@ func TestScoreCacheMatchesRecompute(t *testing.T) {
 		vm := cell.Machine(ids[src.Intn(len(ids))])
 		usage := vm.UsageTotal()
 		class := s.classID(tt)
-		first := s.cachedScore(vm, tt, usage, class)
-		cached := s.cachedScore(vm, tt, usage, class)
+		first, firstHit := s.cachedScore(vm, tt, usage, class)
+		cached, cachedHit := s.cachedScore(vm, tt, usage, class)
+		if firstHit {
+			hits++
+		} else {
+			misses++
+		}
+		if !cachedHit {
+			t.Fatalf("step %d: immediate re-probe missed the cache", step)
+		}
 		want := s.policy.Score(vm, tt.Request, usage)
 		if first != want || cached != want {
 			t.Fatalf("step %d: cached score %v/%v, recomputed %v (machine %d gen %d)",
 				step, first, cached, want, vm.ID, vm.Gen())
 		}
 	}
-	st := s.Stats()
-	if st.ScoreCacheHits == 0 || st.ScoreCacheMisses == 0 {
-		t.Fatalf("degenerate cache exercise: hits=%d misses=%d", st.ScoreCacheHits, st.ScoreCacheMisses)
+	if hits == 0 || misses == 0 {
+		t.Fatalf("degenerate cache exercise: hits=%d misses=%d", hits, misses)
 	}
 }
 
@@ -125,6 +136,53 @@ func TestPlacementSteadyStateZeroAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
 		t.Fatalf("steady-state placement allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestInstrumentedPlacementZeroAllocs repeats the steady-state guard with
+// a caller-supplied metrics registry wired into the scheduler: live
+// counters and the pending-queue gauge must add only atomic operations to
+// the placement cycle, never allocations.
+func TestInstrumentedPlacementZeroAllocs(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cell := cluster.NewCell("bench")
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.Batch = nil
+	cfg.ServiceTime = dist.Deterministic{Value: 0.001}
+	cfg.Metrics = reg
+	s := New(cfg, cell, k, trace.NopSink{}, rng.New(7))
+	id := trace.CollectionID(1)
+	for i := 0; i < 64; i++ {
+		m := cell.AddMachine(trace.Resources{CPU: 1, Mem: 1}, "P0")
+		for r := 0; r < 8; r++ {
+			cell.Place(m.ID, &cluster.Resident{
+				Key:      trace.InstanceKey{Collection: id},
+				Limit:    trace.Resources{CPU: 0.03, Mem: 0.03},
+				Priority: 110,
+				Tier:     trace.TierMid,
+				Usage:    trace.Resources{CPU: 0.02, Mem: 0.02},
+			})
+			id++
+		}
+	}
+	task := benchTask(trace.Resources{CPU: 0.1, Mem: 0.1}, 120, trace.TierProduction)
+	cycle := func() {
+		m := s.pickMachine(task)
+		if m == nil {
+			t.Fatal("no feasible machine")
+		}
+		cell.Place(m.ID, s.takeResident(task.Key, task.Request, task.Job.Priority, task.Job.Tier))
+		s.releaseResident(cell.Remove(m.ID, task.Key))
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("instrumented placement allocates %.1f allocs/op, want 0", avg)
+	}
+	if reg.Counter("sched_score_cache_hits_total").Value() == 0 {
+		t.Fatal("instrumented cycles recorded no score-cache hits")
 	}
 }
 

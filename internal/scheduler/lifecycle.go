@@ -21,7 +21,7 @@ func (s *Scheduler) Submit(j *Job) {
 		panic(fmt.Sprintf("scheduler: job %d has no tasks", j.ID))
 	}
 	s.jobs[j.ID] = j
-	s.stats.JobsSubmitted++
+	s.met.jobsSubmitted.Inc()
 	j.State = JobSubmitted
 	j.SubmitTime = now
 	j.FinalType = trace.EventSubmit
@@ -100,7 +100,7 @@ func (s *Scheduler) batchAdmissionCheck() {
 			continue // killed while queued
 		}
 		admitted++
-		s.stats.BatchAdmitted++
+		s.met.batchAdmitted.Inc()
 		s.enableJob(j)
 	}
 }
@@ -201,7 +201,7 @@ func (s *Scheduler) segmentEnd(t *Task) {
 	if t.Restarts > 0 && t.remaining > 0 {
 		// Scripted crash: FAIL, then come back after the restart delay.
 		t.Restarts--
-		s.stats.TasksFailedRestarts++
+		s.met.tasksFailedRestarts.Inc()
 		s.emitInstance(t, trace.EventFail, now)
 		s.requeueAfter(t, s.cfg.FailRestartDelay)
 		return
@@ -365,7 +365,7 @@ func (s *Scheduler) EvictMachine(id trace.MachineID) {
 	if m == nil {
 		return
 	}
-	s.stats.MachineEvictions++
+	s.met.machineEvictions.Inc()
 	for _, r := range m.Residents() {
 		if r.Tier == trace.TierProduction && !s.src.Bool(s.cfg.ProdEvictionSLO) {
 			continue
@@ -400,10 +400,10 @@ func (s *Scheduler) HandleMemoryPressure(id trace.MachineID, limitMem float64) i
 			// more resources than it had requested"), rather than being
 			// evicted by the infrastructure.
 			s.failOverLimit(t)
-			s.stats.OOMKills++
+			s.met.oomKills.Inc()
 		} else {
 			s.Evict(t)
-			s.stats.OOMEvictions++
+			s.met.oomEvictions.Inc()
 		}
 		evicted++
 	}

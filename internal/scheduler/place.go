@@ -16,6 +16,7 @@ func (s *Scheduler) attemptPlacement(t *Task, now sim.Time) {
 	if t.Job.State == JobDone || t.State != TaskPending {
 		return
 	}
+	s.met.placementAttempts.Inc()
 	// Jobs targeting an alloc set place tasks inside its reservations
 	// (§5.1) instead of claiming machine allocation directly.
 	if t.Job.Type == trace.CollectionJob && t.Job.AllocSet != 0 {
@@ -31,7 +32,7 @@ func (s *Scheduler) attemptPlacement(t *Task, now sim.Time) {
 		if !s.policy.RetryOnFailure() {
 			// A one-shot policy abandons the task instead of parking it
 			// for backoff: the cluster has room now or the work is dropped.
-			s.stats.PlacementGiveUps++
+			s.met.placementGiveUps.Inc()
 			s.finishTask(t, trace.EventKill)
 			return
 		}
@@ -59,6 +60,10 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 	var class uint32 // interned lazily: RandomFit never needs it
 	var best *cluster.Machine
 	bestScore := math.Inf(1)
+	// Cache hits/misses accumulate locally and post to the atomic
+	// counters once per pick, not once per candidate, so instrumentation
+	// adds O(1) atomics to the fast path.
+	var hits, misses int64
 	for i := 0; i < k; i++ {
 		m := s.cell.Machine(ids[s.src.Intn(len(ids))])
 		if m == nil || !m.FitsLimit(t.Request, s.cfg.Overcommit) {
@@ -77,21 +82,33 @@ func (s *Scheduler) pickMachine(t *Task) *cluster.Machine {
 		if class == 0 {
 			class = s.classID(t)
 		}
-		score := s.cachedScore(m, t, usage, class)
+		score, hit := s.cachedScore(m, t, usage, class)
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
 		if score < bestScore {
 			best, bestScore = m, score
 		}
+	}
+	if hits != 0 {
+		s.met.scoreCacheHits.Add(hits)
+	}
+	if misses != 0 {
+		s.met.scoreCacheMisses.Add(misses)
 	}
 	return best
 }
 
 // cachedScore returns the policy's Score(m, req, usage) through the
-// equivalence-class cache: a slot whose class and machine generation both
-// match is exact memoization (see scoreSlot) and skips recomputation —
-// valid because Policy.Score is contractually a pure function of state
-// covered by (class, m.Gen()). The probe is a bare array index — no
-// hashing on the per-candidate path.
-func (s *Scheduler) cachedScore(m *cluster.Machine, t *Task, usage trace.Resources, class uint32) float64 {
+// equivalence-class cache, and whether the slot hit: a slot whose class
+// and machine generation both match is exact memoization (see
+// scoreSlot) and skips recomputation — valid because Policy.Score is
+// contractually a pure function of state covered by (class, m.Gen()).
+// The probe is a bare array index — no hashing on the per-candidate
+// path; the caller batches hit/miss counts into the metrics counters.
+func (s *Scheduler) cachedScore(m *cluster.Machine, t *Task, usage trace.Resources, class uint32) (float64, bool) {
 	i := int(m.ID)
 	if i >= len(s.scoreSlots) {
 		grown := make([]scoreSlot, i+1)
@@ -100,13 +117,11 @@ func (s *Scheduler) cachedScore(m *cluster.Machine, t *Task, usage trace.Resourc
 	}
 	slot := &s.scoreSlots[i]
 	if slot.class == class && slot.gen == m.Gen() {
-		s.stats.ScoreCacheHits++
-		return slot.score
+		return slot.score, true
 	}
-	s.stats.ScoreCacheMisses++
 	sc := s.policy.Score(m, t.Request, usage)
 	*slot = scoreSlot{class: class, gen: m.Gen(), score: sc}
-	return sc
+	return sc, false
 }
 
 // takeResident returns a Resident record for a placement, recycling one
@@ -143,7 +158,7 @@ func (s *Scheduler) placeOnMachine(t *Task, m *cluster.Machine) {
 	// record (releaseResident) clears it.
 	res.Task = t
 	s.cell.Place(m.ID, res)
-	s.stats.TasksPlaced++
+	s.met.tasksPlaced.Inc()
 	s.startRunning(t, m.ID)
 
 	// A newly placed alloc instance becomes a reservation jobs can
@@ -189,7 +204,7 @@ func (s *Scheduler) placeInAlloc(t *Task, now sim.Time) {
 	res := s.takeResident(t.Key, trace.Resources{}, t.Job.Priority, t.Job.Tier)
 	res.Task = t
 	s.cell.Place(best.Machine, res)
-	s.stats.TasksPlaced++
+	s.met.tasksPlaced.Inc()
 	s.startRunning(t, best.Machine)
 }
 
@@ -256,7 +271,7 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 	}
 	for _, v := range best.victims {
 		s.Evict(v)
-		s.stats.Preemptions++
+		s.met.preemptions.Inc()
 	}
 	if !best.m.FitsLimit(t.Request, s.cfg.Overcommit) {
 		return nil // eviction freed less than planned (racing state)
@@ -267,7 +282,7 @@ func (s *Scheduler) tryPreemption(t *Task) *cluster.Machine {
 // retryLater parks a task and re-enqueues it after the retry backoff.
 // Unlike eviction, a feasibility retry is not a trace-visible resubmit.
 func (s *Scheduler) retryLater(t *Task) {
-	s.stats.PlacementRetries++
+	s.met.placementRetries.Inc()
 	t.State = TaskWaiting
 	s.accountBEB(t)
 	t.retryEvent = s.k.After(s.cfg.RetryBackoff, s.retryFn(t))

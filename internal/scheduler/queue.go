@@ -56,6 +56,7 @@ func (s *Scheduler) enqueue(t *Task) {
 	t.enqueueSeq = s.seq
 	s.seq++
 	heap.Push(&s.pending, t)
+	s.met.pendingQueue.Set(float64(s.pending.Len()))
 	s.kick()
 }
 
@@ -86,7 +87,11 @@ func (s *Scheduler) serveOne(now sim.Time) {
 		if t.State != TaskPending || t.Job.State == JobDone {
 			continue // withdrawn (killed) while queued
 		}
+		// The gauge updates before the attempt: any path out of
+		// attemptPlacement that re-enqueues refreshes it again.
+		s.met.pendingQueue.Set(float64(s.pending.Len()))
 		s.attemptPlacement(t, now)
 		return
 	}
+	s.met.pendingQueue.Set(0)
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -76,6 +77,12 @@ type Config struct {
 	ProdEvictionSLO float64
 	// Batch enables the batch-queue front-end when non-nil.
 	Batch *BatchConfig
+	// Metrics receives the scheduler's activity counters (the sched_*
+	// instruments; see newSchedInstruments for the catalogue). Nil gets a
+	// private registry, so counting is unconditional and Stats always
+	// works. Instruments observe only — they consume no randomness and
+	// cannot change a single trace byte (the metrics package contract).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a 2019-profile scheduler configuration.
@@ -239,7 +246,11 @@ func (j *Job) AddTask(t *Task) {
 	j.Tasks = append(j.Tasks, t)
 }
 
-// Stats counts scheduler activity for logs and ablation benches.
+// Stats is a point-in-time snapshot of scheduler activity for logs and
+// ablation benches. Since the metrics migration the fields are read off
+// the scheduler's registry-backed counters (see schedInstruments);
+// Stats() keeps the legacy aggregate shape so existing callers and
+// tests are untouched.
 type Stats struct {
 	JobsSubmitted    int
 	TasksPlaced      int
@@ -259,6 +270,48 @@ type Stats struct {
 	// from cache versus recomputed (placement fast path telemetry).
 	ScoreCacheHits   int
 	ScoreCacheMisses int
+}
+
+// schedInstruments binds the scheduler's activity counters to a metrics
+// registry once at construction, so every increment site is a bare
+// atomic add with no name lookup. Counters are the only instrument kind
+// here: the placement fast path must stay allocation-free and lock-free
+// (histograms take a mutex), so distributional views (queue depth over
+// sim-time) are sampled by the usage pipeline's periodic tick instead.
+type schedInstruments struct {
+	jobsSubmitted       *metrics.Counter // sched_jobs_submitted_total
+	tasksPlaced         *metrics.Counter // sched_tasks_placed_total
+	placementAttempts   *metrics.Counter // sched_placement_attempts_total
+	placementRetries    *metrics.Counter // sched_placement_retries_total
+	placementGiveUps    *metrics.Counter // sched_placement_giveups_total
+	preemptions         *metrics.Counter // sched_preemptions_total
+	oomEvictions        *metrics.Counter // sched_oom_evictions_total
+	oomKills            *metrics.Counter // sched_oom_kills_total
+	machineEvictions    *metrics.Counter // sched_machine_evictions_total
+	batchAdmitted       *metrics.Counter // sched_batch_admitted_total
+	tasksFailedRestarts *metrics.Counter // sched_task_failed_restarts_total
+	scoreCacheHits      *metrics.Counter // sched_score_cache_hits_total
+	scoreCacheMisses    *metrics.Counter // sched_score_cache_misses_total
+	pendingQueue        *metrics.Gauge   // sched_pending_queue (live depth)
+}
+
+func newSchedInstruments(reg *metrics.Registry) schedInstruments {
+	return schedInstruments{
+		jobsSubmitted:       reg.Counter("sched_jobs_submitted_total"),
+		tasksPlaced:         reg.Counter("sched_tasks_placed_total"),
+		placementAttempts:   reg.Counter("sched_placement_attempts_total"),
+		placementRetries:    reg.Counter("sched_placement_retries_total"),
+		placementGiveUps:    reg.Counter("sched_placement_giveups_total"),
+		preemptions:         reg.Counter("sched_preemptions_total"),
+		oomEvictions:        reg.Counter("sched_oom_evictions_total"),
+		oomKills:            reg.Counter("sched_oom_kills_total"),
+		machineEvictions:    reg.Counter("sched_machine_evictions_total"),
+		batchAdmitted:       reg.Counter("sched_batch_admitted_total"),
+		tasksFailedRestarts: reg.Counter("sched_task_failed_restarts_total"),
+		scoreCacheHits:      reg.Counter("sched_score_cache_hits_total"),
+		scoreCacheMisses:    reg.Counter("sched_score_cache_misses_total"),
+		pendingQueue:        reg.Gauge("sched_pending_queue"),
+	}
 }
 
 // AllocInstance is a reserved slot of an alloc set placed on a machine;
@@ -369,7 +422,7 @@ type Scheduler struct {
 	// jobs each admission check.
 	bebAllocCPU float64
 
-	stats Stats
+	met schedInstruments
 
 	// UnplaceHook, when set, is invoked just before a running task
 	// leaves its machine, with the time it started running. The usage
@@ -387,6 +440,10 @@ func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rn
 	if cfg.ServiceTime == nil {
 		cfg.ServiceTime = dist.Deterministic{Value: 0.05}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Scheduler{
 		cfg:        cfg,
 		cell:       cell,
@@ -401,6 +458,7 @@ func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rn
 		allocJobs:  make(map[trace.CollectionID][]*Job),
 		running:    make(map[trace.InstanceKey]*Task),
 		classIDs:   make(map[eqClass]uint32),
+		met:        newSchedInstruments(reg),
 	}
 	if qo, ok := s.policy.(QueueOrderer); ok {
 		s.pending.less = qo.QueueLess
@@ -413,12 +471,31 @@ func New(cfg Config, cell *cluster.Cell, k *sim.Kernel, sink trace.Sink, src *rn
 	return s
 }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters, read from the
+// registry-backed instruments.
 func (s *Scheduler) Stats() Stats {
-	st := s.stats
-	st.BatchQueuedNow = len(s.batchQueue)
-	return st
+	return Stats{
+		JobsSubmitted:       int(s.met.jobsSubmitted.Value()),
+		TasksPlaced:         int(s.met.tasksPlaced.Value()),
+		PlacementRetries:    int(s.met.placementRetries.Value()),
+		PlacementGiveUps:    int(s.met.placementGiveUps.Value()),
+		Preemptions:         int(s.met.preemptions.Value()),
+		OOMEvictions:        int(s.met.oomEvictions.Value()),
+		OOMKills:            int(s.met.oomKills.Value()),
+		MachineEvictions:    int(s.met.machineEvictions.Value()),
+		BatchAdmitted:       int(s.met.batchAdmitted.Value()),
+		BatchQueuedNow:      len(s.batchQueue),
+		TasksFailedRestarts: int(s.met.tasksFailedRestarts.Value()),
+		ScoreCacheHits:      int(s.met.scoreCacheHits.Value()),
+		ScoreCacheMisses:    int(s.met.scoreCacheMisses.Value()),
+	}
 }
+
+// QueueDepth returns the live pending-queue length. The usage pipeline's
+// sampling tick observes it into the sched_queue_depth histogram so the
+// queue's sim-time distribution is visible without touching the
+// placement fast path.
+func (s *Scheduler) QueueDepth() int { return s.pending.Len() }
 
 // Job returns a submitted job by ID, or nil.
 func (s *Scheduler) Job(id trace.CollectionID) *Job { return s.jobs[id] }

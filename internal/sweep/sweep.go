@@ -138,7 +138,8 @@ func Run(d Def) (*Result, error) {
 	cells := len(experiments.SuiteProfiles(d.Scale))
 	specs := make([]engine.Spec, 0, d.Seeds*len(variants)*cells)
 	reducers := make([]*streaming.CellReducer, 0, cap(specs))
-	base := core.Options{Horizon: d.Scale.Horizon, NoMemTrace: true}
+	base := core.Options{Horizon: d.Scale.Horizon, NoMemTrace: true,
+		TimelineWarmup: d.Scale.Warmup}
 	base.UsageNoiseFast = d.Scale.UsageNoiseFast
 	flat := 0
 	for run := 0; run < d.Seeds; run++ {
@@ -169,7 +170,12 @@ func Run(d Def) (*Result, error) {
 		opts.OnStart = func(int) { prog.Start() }
 		opts.OnResult = func(int, *core.CellResult) { prog.Done() }
 	}
-	results := engine.Run(specs, opts)
+	// Grid points feed the sweep-level registry/timeline like suite cells
+	// feed a suite's: one private registry per point, merged in grid
+	// order, one timeline row per flat index.
+	ri := engine.NewRunInstruments(d.Scale.Metrics, d.Scale.Timeline, len(specs))
+	ri.Apply(specs)
+	results := engine.Run(specs, ri.Wrap(opts))
 
 	res := &Result{Def: d, Metrics: MetricNames(), Cells: cells}
 	res.Def.Variants = variants
